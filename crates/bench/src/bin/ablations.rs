@@ -1,0 +1,138 @@
+//! Ablations of DESIGN.md's marked (✦) design decisions:
+//!
+//! * **E9** — span-join planner: min-extent anchor vs naive leftmost anchor;
+//! * **E10** — ordered attribute indexes vs full extent scans for
+//!   intra-class conditions;
+//! * **E11** — scoped incremental (delta) forward maintenance vs full
+//!   re-derivation.
+//!
+//! ```sh
+//! cargo run --release -p dood-bench --bin ablations
+//! ```
+
+use dood_bench::{pipeline_engine, pipeline_update};
+use dood_core::subdb::SubdbRegistry;
+use dood_oql::parser::Parser;
+use dood_oql::resolve::resolve_context;
+use dood_oql::{Evaluator, PlannerMode};
+use dood_rules::EvalPolicy;
+use dood_workload::university;
+use std::time::Instant;
+
+fn time_us<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    println!("# dood ablation report\n");
+
+    // ------------------------------------------------------------------
+    // E9 — planner anchor. A skewed chain: few departments, many students.
+    // Min-extent anchoring starts from Department; leftmost starts from
+    // Student.
+    // ------------------------------------------------------------------
+    println!("## E9 — span-join planner: min-extent anchor vs leftmost\n");
+    println!("| scale | patterns | min-extent (us) | leftmost (us) | speedup |");
+    println!("|---|---|---|---|---|");
+    for factor in [1usize, 2, 4] {
+        let db = university::populate(university::Size::scaled(factor), 13);
+        let reg = SubdbRegistry::new();
+        let expr = Parser::parse_context_expr(
+            "Student * Section * Course * Department [name = 'CIS']",
+        )
+        .unwrap();
+        let resolved = resolve_context(&expr, db.schema(), &reg).unwrap();
+        let run = |mode: PlannerMode| {
+            Evaluator::new(&resolved, &db, &reg)
+                .unwrap()
+                .with_planner(mode)
+                .eval("x")
+                .len()
+        };
+        let n_min = run(PlannerMode::MinExtent);
+        let n_left = run(PlannerMode::Leftmost);
+        assert_eq!(n_min, n_left, "planner must not change results");
+        let t_min = time_us(5, || run(PlannerMode::MinExtent));
+        let t_left = time_us(5, || run(PlannerMode::Leftmost));
+        println!("| {factor} | {n_min} | {t_min:.0} | {t_left:.0} | {:.2}x |", t_left / t_min);
+    }
+
+    // ------------------------------------------------------------------
+    // E10 — attribute indexes for intra-class conditions.
+    // ------------------------------------------------------------------
+    println!("\n## E10 — ordered attribute index vs full extent scan\n");
+    println!("| scale | hits | scan (us) | indexed (us) | speedup |");
+    println!("|---|---|---|---|---|");
+    for factor in [1usize, 2, 4] {
+        let mut db = university::populate(university::Size::scaled(factor), 13);
+        let reg = SubdbRegistry::new();
+        let oql = dood_oql::Oql::new();
+        // Selective predicate: one course-number bucket.
+        let q = "context Section * Course [c# >= 6000] select title";
+        let n = oql.query(&db, &reg, q).unwrap().subdb.len();
+        let t_scan = time_us(5, || oql.query(&db, &reg, q).unwrap().subdb.len());
+        let course = db.schema().class_by_name("Course").unwrap();
+        db.create_attr_index(course, "c#").unwrap();
+        let n_ix = oql.query(&db, &reg, q).unwrap().subdb.len();
+        assert_eq!(n, n_ix, "index must not change results");
+        let t_ix = time_us(5, || oql.query(&db, &reg, q).unwrap().subdb.len());
+        println!("| {factor} | {n} | {t_scan:.0} | {t_ix:.0} | {:.2}x |", t_scan / t_ix);
+    }
+
+    // ------------------------------------------------------------------
+    // E11 — incremental vs full forward maintenance.
+    // ------------------------------------------------------------------
+    println!("\n## E11 — delta maintenance vs full re-derivation (per update)\n");
+    println!("| employees | full (us) | incremental (us) | speedup |");
+    println!("|---|---|---|---|");
+    for employees in [100usize, 400, 1600] {
+        let mk = |incremental: bool| {
+            let mut e = pipeline_engine(employees, 5);
+            for s in ["REa", "REb", "REc", "REd"] {
+                e.set_policy(s, EvalPolicy::PreEvaluated);
+            }
+            e.set_incremental(incremental);
+            e.query("context REd:Department").unwrap();
+            e
+        };
+        // Correctness check outside timing.
+        {
+            let mut inc = mk(true);
+            let mut full = mk(false);
+            pipeline_update(&mut inc, 7);
+            pipeline_update(&mut full, 7);
+            inc.propagate().unwrap();
+            full.propagate().unwrap();
+            for s in ["REa", "REb"] {
+                assert_eq!(
+                    inc.registry().subdb(s).unwrap().to_vec(),
+                    full.registry().subdb(s).unwrap().to_vec()
+                );
+            }
+        }
+        let mut i = 0usize;
+        let mut full_engine = mk(false);
+        let t_full = time_us(5, || {
+            i += 1;
+            pipeline_update(&mut full_engine, i);
+            full_engine.propagate().unwrap().len()
+        });
+        let mut inc_engine = mk(true);
+        let t_inc = time_us(5, || {
+            i += 1;
+            pipeline_update(&mut inc_engine, i);
+            inc_engine.propagate().unwrap().len()
+        });
+        println!("| {employees} | {t_full:.0} | {t_inc:.0} | {:.2}x |", t_full / t_inc);
+    }
+
+    println!("\nDone.");
+}

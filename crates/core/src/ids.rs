@@ -1,0 +1,149 @@
+//! Identifier newtypes.
+//!
+//! OSAM* requires that "each object is assumed to have a unique object
+//! identifier (OID)" (paper §1). We use dense `u64` newtypes for objects and
+//! `u32` newtypes for schema-level entities (classes, associations), which
+//! keeps hot join state small (perf-book: smaller integers for indices).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $repr:ty, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// The raw integer value.
+            #[inline]
+            pub const fn raw(self) -> $repr {
+                self.0
+            }
+
+            /// Construct from a raw integer value.
+            #[inline]
+            pub const fn from_raw(raw: $repr) -> Self {
+                Self(raw)
+            }
+
+            /// The index form, for dense-vector addressing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(raw: $repr) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A system-generated unique object identifier (paper §2: "Each object of
+    /// an E-class is represented by a system-generated unique object
+    /// identifier (OID)").
+    Oid,
+    u64,
+    "o"
+);
+
+id_newtype!(
+    /// Identifies an object class (E-class or D-class) within a schema.
+    ClassId,
+    u32,
+    "c"
+);
+
+id_newtype!(
+    /// Identifies an association (link type) within a schema.
+    AssocId,
+    u32,
+    "a"
+);
+
+/// Monotonic OID generator. Thread-safe; OIDs are never reused, even after
+/// object deletion, so dangling references are detectable rather than
+/// silently re-bound.
+#[derive(Debug)]
+pub struct OidGen {
+    next: AtomicU64,
+}
+
+impl OidGen {
+    /// A generator whose first OID is `o1` (0 is reserved as a niche/sentinel
+    /// in debug assertions).
+    pub fn new() -> Self {
+        Self { next: AtomicU64::new(1) }
+    }
+
+    /// Resume generation after `watermark` (used when reloading a store).
+    pub fn starting_after(watermark: Oid) -> Self {
+        Self { next: AtomicU64::new(watermark.0 + 1) }
+    }
+
+    /// Allocate the next OID.
+    #[inline]
+    pub fn next(&self) -> Oid {
+        Oid(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The OID that would be allocated next (exclusive upper bound of all
+    /// allocated OIDs).
+    pub fn peek(&self) -> Oid {
+        Oid(self.next.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for OidGen {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oids_are_monotonic_and_unique() {
+        let g = OidGen::new();
+        let a = g.next();
+        let b = g.next();
+        let c = g.next();
+        assert!(a < b && b < c);
+        assert_eq!(a, Oid(1));
+    }
+
+    #[test]
+    fn starting_after_resumes() {
+        let g = OidGen::starting_after(Oid(100));
+        assert_eq!(g.next(), Oid(101));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Oid(7).to_string(), "o7");
+        assert_eq!(ClassId(3).to_string(), "c3");
+        assert_eq!(AssocId(9).to_string(), "a9");
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let id = ClassId::from_raw(12);
+        assert_eq!(id.raw(), 12);
+        assert_eq!(id.index(), 12);
+    }
+}

@@ -1,0 +1,27 @@
+//! # dood-core
+//!
+//! The structural layer of **dood**, a reproduction of *"A Rule-based
+//! Language for Deductive Object-Oriented Databases"* (Alashqur, Su & Lam,
+//! ICDE 1990): the OSAM* object-oriented semantic association model and the
+//! subdatabase algebra the deductive language is closed under.
+//!
+//! * [`schema`] — classes (E/D), the five association types, generalization
+//!   hierarchies with inheritance and ambiguity resolution, S-diagrams.
+//! * [`subdb`] — subdatabases: intensional patterns, extensional patterns
+//!   with Null components, pattern types, subsumption, the induced
+//!   generalization bookkeeping, and the derived-subdatabase registry.
+//! * [`value`] / [`ids`] — D-class values and identifier newtypes.
+//! * [`fxhash`] — in-tree Fx hashing for integer-keyed hot maps.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod fxhash;
+pub mod ids;
+pub mod schema;
+pub mod subdb;
+pub mod value;
+
+pub use error::{ResolveError, SchemaError, StoreError};
+pub use ids::{AssocId, ClassId, Oid, OidGen};
+pub use value::{DType, Value};

@@ -1,0 +1,187 @@
+//! Associations (links) between classes.
+//!
+//! "There are five types of links (associations) in OSAM*" (paper §2); the
+//! paper details **Aggregation** (A) and **Generalization** (G), which are
+//! the two used by the rule language. The remaining three (Interaction,
+//! Composition, Crossproduct) are represented structurally so that schemas
+//! using them validate and traverse, but they carry no special semantics in
+//! the query engine beyond being traversable links.
+//!
+//! Conventions:
+//! * An aggregation link *emanates from* the owning class and *connects to*
+//!   the component class. "An aggregation link represents an attribute and
+//!   has the same name as the class it connects to, unless specified
+//!   otherwise" (paper §2).
+//! * A generalization link emanates from the **superclass** and connects to
+//!   the **subclass** ("Generalization links to the E-classes Student and
+//!   Teacher, i.e. Student and Teacher are subclasses of the superclass
+//!   Person"). At the instance level a G link is an *identity link*: the two
+//!   instances are "two different perspectives of the same real-world
+//!   object" (paper §3.2).
+
+use crate::ids::{AssocId, ClassId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five OSAM* association types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AssocKind {
+    /// Aggregation (attribute / part-of). E→D aggregations are the
+    /// *descriptive attributes* of the E-class.
+    Aggregation,
+    /// Generalization (superclass → subclass identity link).
+    Generalization,
+    /// Interaction (relationship-entity style association).
+    Interaction,
+    /// Composition (exclusive part-of).
+    Composition,
+    /// Crossproduct (grouping of component classes).
+    Crossproduct,
+}
+
+impl AssocKind {
+    /// One-letter label used in S-diagrams ("links of the same type that
+    /// emanate from a class are grouped together and labeled by the letter
+    /// that denotes the association type").
+    pub fn letter(self) -> char {
+        match self {
+            AssocKind::Aggregation => 'A',
+            AssocKind::Generalization => 'G',
+            AssocKind::Interaction => 'I',
+            AssocKind::Composition => 'C',
+            AssocKind::Crossproduct => 'X',
+        }
+    }
+}
+
+impl fmt::Display for AssocKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AssocKind::Aggregation => "aggregation",
+            AssocKind::Generalization => "generalization",
+            AssocKind::Interaction => "interaction",
+            AssocKind::Composition => "composition",
+            AssocKind::Crossproduct => "crossproduct",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Cardinality of a link from the emanating side: how many `to`-objects one
+/// `from`-object may link to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cardinality {
+    /// At most one target object (e.g. a Section's Course).
+    Single,
+    /// Any number of target objects (e.g. a Teacher's Sections).
+    Many,
+}
+
+/// An association definition.
+///
+/// The paper notes constraints such as "a Non-null constraint on the
+/// aggregation association of Course with Section" (§3.1 footnote); we carry
+/// a `required` flag on the emanating side for this.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AssocDef {
+    /// Stable identifier within the schema.
+    pub id: AssocId,
+    /// Link name. Unique among links emanating from `from`.
+    pub name: String,
+    /// The class the link emanates from (owner / superclass).
+    pub from: ClassId,
+    /// The class the link connects to (component / subclass / domain).
+    pub to: ClassId,
+    /// Association type.
+    pub kind: AssocKind,
+    /// Non-null constraint: every `from`-instance must carry at least one
+    /// link. Enforced by `Database::check_constraints`.
+    pub required: bool,
+    /// How many `to`-objects one `from`-object may link to.
+    pub cardinality: Cardinality,
+}
+
+impl AssocDef {
+    /// Whether this is a descriptive attribute (decided by the schema, which
+    /// knows whether `to` is a D-class); see `Schema::is_attribute`.
+    #[inline]
+    pub fn is_aggregation(&self) -> bool {
+        self.kind == AssocKind::Aggregation
+    }
+
+    /// Whether this is a generalization link.
+    #[inline]
+    pub fn is_generalization(&self) -> bool {
+        self.kind == AssocKind::Generalization
+    }
+
+    /// Given one endpoint, the other endpoint. Panics if `c` is neither.
+    pub fn other_end(&self, c: ClassId) -> ClassId {
+        if c == self.from {
+            self.to
+        } else {
+            debug_assert_eq!(c, self.to, "class is not an endpoint of this association");
+            self.from
+        }
+    }
+
+    /// Whether `c` is an endpoint.
+    pub fn touches(&self, c: ClassId) -> bool {
+        self.from == c || self.to == c
+    }
+}
+
+impl fmt::Display for AssocDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} --{}[{}]--> {}",
+            self.from,
+            self.name,
+            self.kind.letter(),
+            self.to
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> AssocDef {
+        AssocDef {
+            id: AssocId(0),
+            name: "Teaches".into(),
+            from: ClassId(1),
+            to: ClassId(2),
+            kind: AssocKind::Aggregation,
+            required: false,
+            cardinality: Cardinality::Many,
+        }
+    }
+
+    #[test]
+    fn endpoints() {
+        let a = mk();
+        assert_eq!(a.other_end(ClassId(1)), ClassId(2));
+        assert_eq!(a.other_end(ClassId(2)), ClassId(1));
+        assert!(a.touches(ClassId(1)));
+        assert!(!a.touches(ClassId(3)));
+    }
+
+    #[test]
+    fn letters() {
+        assert_eq!(AssocKind::Aggregation.letter(), 'A');
+        assert_eq!(AssocKind::Generalization.letter(), 'G');
+        assert_eq!(AssocKind::Interaction.letter(), 'I');
+        assert_eq!(AssocKind::Composition.letter(), 'C');
+        assert_eq!(AssocKind::Crossproduct.letter(), 'X');
+    }
+
+    #[test]
+    fn predicates() {
+        let a = mk();
+        assert!(a.is_aggregation());
+        assert!(!a.is_generalization());
+    }
+}

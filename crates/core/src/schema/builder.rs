@@ -1,0 +1,300 @@
+//! Fluent construction of schemas.
+//!
+//! The builder resolves class names lazily, so classes and associations may
+//! be declared in any order; `build` performs the final validation.
+
+use crate::error::SchemaError;
+use crate::ids::{AssocId, ClassId};
+use crate::schema::assoc::{AssocDef, AssocKind, Cardinality};
+use crate::schema::class::{ClassDef, ClassKind};
+use crate::schema::graph::{assemble, Schema};
+use crate::value::DType;
+
+#[derive(Debug, Clone)]
+struct PendingAssoc {
+    name: Option<String>,
+    from: String,
+    to: String,
+    kind: AssocKind,
+    required: bool,
+    cardinality: Cardinality,
+}
+
+/// Builds a [`Schema`].
+///
+/// ```
+/// use dood_core::schema::SchemaBuilder;
+/// use dood_core::value::DType;
+///
+/// let mut b = SchemaBuilder::new();
+/// b.e_class("Person");
+/// b.e_class("Student");
+/// b.d_class("Name", DType::Str);
+/// b.attr("Person", "Name");
+/// b.generalize("Person", "Student");
+/// let schema = b.build().unwrap();
+/// assert_eq!(schema.class_count(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    classes: Vec<(String, ClassKind)>,
+    assocs: Vec<PendingAssoc>,
+}
+
+impl SchemaBuilder {
+    /// New, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare an entity class.
+    pub fn e_class(&mut self, name: impl Into<String>) -> &mut Self {
+        self.classes.push((name.into(), ClassKind::EClass));
+        self
+    }
+
+    /// Declare a domain class of the given value type.
+    pub fn d_class(&mut self, name: impl Into<String>, ty: DType) -> &mut Self {
+        self.classes.push((name.into(), ClassKind::DClass(ty)));
+        self
+    }
+
+    fn push_assoc(
+        &mut self,
+        name: Option<String>,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        kind: AssocKind,
+        required: bool,
+        cardinality: Cardinality,
+    ) -> &mut Self {
+        self.assocs.push(PendingAssoc {
+            name,
+            from: from.into(),
+            to: to.into(),
+            kind,
+            required,
+            cardinality,
+        });
+        self
+    }
+
+    /// Declare a descriptive attribute: an aggregation from E-class `class`
+    /// to D-class `domain`, named after the domain (the paper's default
+    /// naming rule).
+    pub fn attr(&mut self, class: impl Into<String>, domain: impl Into<String>) -> &mut Self {
+        self.push_assoc(None, class, domain, AssocKind::Aggregation, false, Cardinality::Single)
+    }
+
+    /// Declare a descriptive attribute with an explicit link name (the
+    /// paper's `Major` link from Student to Department is the example of a
+    /// link "with a different name from the class it connects to").
+    pub fn attr_named(
+        &mut self,
+        class: impl Into<String>,
+        domain: impl Into<String>,
+        name: impl Into<String>,
+    ) -> &mut Self {
+        self.push_assoc(
+            Some(name.into()),
+            class,
+            domain,
+            AssocKind::Aggregation,
+            false,
+            Cardinality::Single,
+        )
+    }
+
+    /// Declare a many-valued E→E aggregation named after the target class.
+    pub fn aggregate(&mut self, from: impl Into<String>, to: impl Into<String>) -> &mut Self {
+        self.push_assoc(None, from, to, AssocKind::Aggregation, false, Cardinality::Many)
+    }
+
+    /// Declare a many-valued E→E aggregation with an explicit name.
+    pub fn aggregate_named(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        name: impl Into<String>,
+    ) -> &mut Self {
+        self.push_assoc(Some(name.into()), from, to, AssocKind::Aggregation, false, Cardinality::Many)
+    }
+
+    /// Declare a single-valued E→E aggregation (e.g. a Section's Course).
+    pub fn aggregate_single(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+    ) -> &mut Self {
+        self.push_assoc(None, from, to, AssocKind::Aggregation, false, Cardinality::Single)
+    }
+
+    /// Declare a single-valued E→E aggregation with explicit name.
+    pub fn aggregate_single_named(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        name: impl Into<String>,
+    ) -> &mut Self {
+        self.push_assoc(Some(name.into()), from, to, AssocKind::Aggregation, false, Cardinality::Single)
+    }
+
+    /// Mark the most recently declared association as non-null (required).
+    pub fn required(&mut self) -> &mut Self {
+        if let Some(a) = self.assocs.last_mut() {
+            a.required = true;
+        }
+        self
+    }
+
+    /// Declare a generalization: `sub` is a subclass of `sup`.
+    pub fn generalize(&mut self, sup: impl Into<String>, sub: impl Into<String>) -> &mut Self {
+        let sub = sub.into();
+        let name = format!("G_{sub}");
+        self.push_assoc(Some(name), sup, sub, AssocKind::Generalization, false, Cardinality::Many)
+    }
+
+    /// Declare an interaction association.
+    pub fn interact(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        name: impl Into<String>,
+    ) -> &mut Self {
+        self.push_assoc(Some(name.into()), from, to, AssocKind::Interaction, false, Cardinality::Many)
+    }
+
+    /// Declare a composition association.
+    pub fn compose(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        name: impl Into<String>,
+    ) -> &mut Self {
+        self.push_assoc(Some(name.into()), from, to, AssocKind::Composition, false, Cardinality::Many)
+    }
+
+    /// Declare a crossproduct association.
+    pub fn crossproduct(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        name: impl Into<String>,
+    ) -> &mut Self {
+        self.push_assoc(Some(name.into()), from, to, AssocKind::Crossproduct, false, Cardinality::Many)
+    }
+
+    /// Validate and produce the immutable schema.
+    pub fn build(&self) -> Result<Schema, SchemaError> {
+        let classes: Vec<ClassDef> = self
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(i, (name, kind))| ClassDef {
+                id: ClassId(i as u32),
+                name: name.clone(),
+                kind: *kind,
+            })
+            .collect();
+        // Temporary name table (duplicates are caught by assemble()).
+        let mut by_name = crate::fxhash::FxHashMap::default();
+        for c in &classes {
+            by_name.entry(c.name.clone()).or_insert(c.id);
+        }
+        let lookup = |n: &str| -> Result<ClassId, SchemaError> {
+            by_name
+                .get(n)
+                .copied()
+                .ok_or_else(|| SchemaError::UnknownClass(n.to_string()))
+        };
+        let mut assocs = Vec::with_capacity(self.assocs.len());
+        for (i, p) in self.assocs.iter().enumerate() {
+            let from = lookup(&p.from)?;
+            let to = lookup(&p.to)?;
+            let name = p.name.clone().unwrap_or_else(|| p.to.clone());
+            assocs.push(AssocDef {
+                id: AssocId(i as u32),
+                name,
+                from,
+                to,
+                kind: p.kind,
+                required: p.required,
+                cardinality: p.cardinality,
+            });
+        }
+        assemble(classes, assocs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_link_name_is_target_class() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("Section");
+        b.e_class("Course");
+        b.aggregate_single("Section", "Course");
+        let s = b.build().unwrap();
+        let sec = s.class_by_name("Section").unwrap();
+        assert!(s.own_link_by_name(sec, "Course").is_some());
+    }
+
+    #[test]
+    fn explicit_link_name() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("Student");
+        b.e_class("Department");
+        b.aggregate_single_named("Student", "Department", "Major");
+        let s = b.build().unwrap();
+        let st = s.class_by_name("Student").unwrap();
+        assert!(s.own_link_by_name(st, "Major").is_some());
+        assert!(s.own_link_by_name(st, "Department").is_none());
+    }
+
+    #[test]
+    fn unknown_class_in_assoc_errors() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("A");
+        b.aggregate("A", "Nope");
+        assert!(matches!(b.build(), Err(SchemaError::UnknownClass(_))));
+    }
+
+    #[test]
+    fn required_marks_last_assoc() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("Course");
+        b.e_class("Section");
+        b.aggregate_single("Section", "Course");
+        b.required();
+        let s = b.build().unwrap();
+        assert!(s.assocs()[0].required);
+    }
+
+    #[test]
+    fn declaration_order_independent() {
+        let mut b = SchemaBuilder::new();
+        b.aggregate("A", "B"); // declared before classes exist
+        b.e_class("A");
+        b.e_class("B");
+        let s = b.build().unwrap();
+        assert_eq!(s.assoc_count(), 1);
+    }
+
+    #[test]
+    fn five_association_kinds_build() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("A");
+        b.e_class("B");
+        b.aggregate("A", "B");
+        b.generalize("A", "B");
+        b.interact("A", "B", "i");
+        b.compose("A", "B", "c");
+        b.crossproduct("A", "B", "x");
+        let s = b.build().unwrap();
+        assert_eq!(s.assoc_count(), 5);
+        let letters: Vec<char> = s.assocs().iter().map(|a| a.kind.letter()).collect();
+        assert_eq!(letters, vec!['A', 'G', 'I', 'C', 'X']);
+    }
+}

@@ -1,0 +1,103 @@
+//! Object classes.
+//!
+//! OSAM* distinguishes **Entity object classes** (E-classes), whose instances
+//! are real-world objects identified by OIDs, from **Domain object classes**
+//! (D-classes), whose "sole function is to form a domain of values of a
+//! simple data type from which descriptive attributes of objects draw their
+//! values" (paper §2).
+
+use crate::ids::ClassId;
+use crate::value::DType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a class is an entity class or a value-domain class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClassKind {
+    /// Entity object class: instances are OID-identified objects.
+    EClass,
+    /// Domain object class: instances are values of the given simple type.
+    DClass(DType),
+}
+
+impl ClassKind {
+    /// Whether this is an entity class.
+    #[inline]
+    pub fn is_entity(self) -> bool {
+        matches!(self, ClassKind::EClass)
+    }
+
+    /// Whether this is a domain class.
+    #[inline]
+    pub fn is_domain(self) -> bool {
+        matches!(self, ClassKind::DClass(_))
+    }
+
+    /// The value type, for domain classes.
+    pub fn dtype(self) -> Option<DType> {
+        match self {
+            ClassKind::EClass => None,
+            ClassKind::DClass(t) => Some(t),
+        }
+    }
+}
+
+/// A class definition in a schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassDef {
+    /// Stable identifier within the schema.
+    pub id: ClassId,
+    /// Unique class name (case-sensitive).
+    pub name: String,
+    /// Entity or domain.
+    pub kind: ClassKind,
+}
+
+impl ClassDef {
+    /// Whether this class is an E-class.
+    #[inline]
+    pub fn is_entity(&self) -> bool {
+        self.kind.is_entity()
+    }
+
+    /// Whether this class is a D-class.
+    #[inline]
+    pub fn is_domain(&self) -> bool {
+        self.kind.is_domain()
+    }
+}
+
+impl fmt::Display for ClassDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ClassKind::EClass => write!(f, "E-class {}", self.name),
+            ClassKind::DClass(t) => write!(f, "D-class {} : {t}", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(ClassKind::EClass.is_entity());
+        assert!(!ClassKind::EClass.is_domain());
+        assert!(ClassKind::DClass(DType::Int).is_domain());
+        assert_eq!(ClassKind::DClass(DType::Str).dtype(), Some(DType::Str));
+        assert_eq!(ClassKind::EClass.dtype(), None);
+    }
+
+    #[test]
+    fn display() {
+        let e = ClassDef { id: ClassId(0), name: "Teacher".into(), kind: ClassKind::EClass };
+        assert_eq!(e.to_string(), "E-class Teacher");
+        let d = ClassDef {
+            id: ClassId(1),
+            name: "SS".into(),
+            kind: ClassKind::DClass(DType::Str),
+        };
+        assert_eq!(d.to_string(), "D-class SS : string");
+    }
+}

@@ -1,0 +1,365 @@
+//! The schema graph: "a database schema is represented in OSAM* as a network
+//! of associated (inter-related) object classes" (paper §2).
+
+use crate::error::SchemaError;
+use crate::fxhash::FxHashMap;
+use crate::ids::{AssocId, ClassId};
+use crate::schema::assoc::{AssocDef, AssocKind};
+use crate::schema::class::ClassDef;
+use crate::value::DType;
+use serde::{Deserialize, Serialize};
+
+/// An immutable, validated schema: the intensional network of classes and
+/// associations (the S-diagram).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schema {
+    pub(crate) classes: Vec<ClassDef>,
+    pub(crate) assocs: Vec<AssocDef>,
+    pub(crate) class_by_name: FxHashMap<String, ClassId>,
+    /// Associations emanating from each class, in declaration order.
+    pub(crate) outgoing: Vec<Vec<AssocId>>,
+    /// Associations connecting to each class, in declaration order.
+    pub(crate) incoming: Vec<Vec<AssocId>>,
+    /// Direct superclasses of each class (G links where class is `to`).
+    pub(crate) supers: Vec<Vec<ClassId>>,
+    /// Direct subclasses of each class (G links where class is `from`).
+    pub(crate) subs: Vec<Vec<ClassId>>,
+}
+
+impl Schema {
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of associations.
+    pub fn assoc_count(&self) -> usize {
+        self.assocs.len()
+    }
+
+    /// All class definitions.
+    pub fn classes(&self) -> &[ClassDef] {
+        &self.classes
+    }
+
+    /// All association definitions.
+    pub fn assocs(&self) -> &[AssocDef] {
+        &self.assocs
+    }
+
+    /// Look up a class definition.
+    #[inline]
+    pub fn class(&self, id: ClassId) -> &ClassDef {
+        &self.classes[id.index()]
+    }
+
+    /// Look up an association definition.
+    #[inline]
+    pub fn assoc(&self, id: AssocId) -> &AssocDef {
+        &self.assocs[id.index()]
+    }
+
+    /// Find a class by name.
+    pub fn class_by_name(&self, name: &str) -> Result<ClassId, SchemaError> {
+        self.class_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| SchemaError::UnknownClass(name.to_string()))
+    }
+
+    /// Find a class by name, returning `None` if absent.
+    pub fn try_class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.class_by_name.get(name).copied()
+    }
+
+    /// Associations emanating from `class`.
+    pub fn outgoing(&self, class: ClassId) -> &[AssocId] {
+        &self.outgoing[class.index()]
+    }
+
+    /// Associations connecting to `class`.
+    pub fn incoming(&self, class: ClassId) -> &[AssocId] {
+        &self.incoming[class.index()]
+    }
+
+    /// Direct superclasses of `class`.
+    pub fn direct_supers(&self, class: ClassId) -> &[ClassId] {
+        &self.supers[class.index()]
+    }
+
+    /// Direct subclasses of `class`.
+    pub fn direct_subs(&self, class: ClassId) -> &[ClassId] {
+        &self.subs[class.index()]
+    }
+
+    /// The generalization link from `superclass` to `subclass`, if any.
+    pub fn g_link(&self, superclass: ClassId, subclass: ClassId) -> Option<AssocId> {
+        self.outgoing(superclass)
+            .iter()
+            .copied()
+            .find(|&a| {
+                let d = self.assoc(a);
+                d.kind == AssocKind::Generalization && d.to == subclass
+            })
+    }
+
+    /// Whether `a` is a *descriptive attribute*: an aggregation emanating
+    /// from an E-class and connecting to a D-class (paper §2).
+    pub fn is_attribute(&self, a: AssocId) -> bool {
+        let d = self.assoc(a);
+        d.kind == AssocKind::Aggregation
+            && self.class(d.from).is_entity()
+            && self.class(d.to).is_domain()
+    }
+
+    /// The descriptive attributes declared *directly* on `class`, in
+    /// declaration order.
+    pub fn own_attrs(&self, class: ClassId) -> Vec<AssocId> {
+        self.outgoing(class)
+            .iter()
+            .copied()
+            .filter(|&a| self.is_attribute(a))
+            .collect()
+    }
+
+    /// Find a directly-declared attribute of `class` by link name.
+    pub fn own_attr_by_name(&self, class: ClassId, name: &str) -> Option<AssocId> {
+        self.outgoing(class)
+            .iter()
+            .copied()
+            .find(|&a| self.is_attribute(a) && self.assoc(a).name == name)
+    }
+
+    /// The value type of a descriptive attribute.
+    pub fn attr_dtype(&self, a: AssocId) -> Option<DType> {
+        if self.is_attribute(a) {
+            self.class(self.assoc(a).to).kind.dtype()
+        } else {
+            None
+        }
+    }
+
+    /// All associations between the two classes (either direction), in
+    /// declaration order. Does not consider inheritance — see
+    /// [`crate::schema::inheritance`] for resolved traversal.
+    pub fn direct_assocs_between(&self, a: ClassId, b: ClassId) -> Vec<AssocId> {
+        let mut out: Vec<AssocId> = self
+            .outgoing(a)
+            .iter()
+            .copied()
+            .filter(|&x| self.assoc(x).to == b)
+            .chain(
+                self.incoming(a)
+                    .iter()
+                    .copied()
+                    .filter(|&x| self.assoc(x).from == b),
+            )
+            .collect();
+        // A self-loop association (a == b) is found from both sides; count it
+        // once.
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// All E-classes.
+    pub fn e_classes(&self) -> impl Iterator<Item = &ClassDef> {
+        self.classes.iter().filter(|c| c.is_entity())
+    }
+
+    /// All D-classes.
+    pub fn d_classes(&self) -> impl Iterator<Item = &ClassDef> {
+        self.classes.iter().filter(|c| c.is_domain())
+    }
+
+    /// Resolve an E→E (entity) aggregation/interaction link of `class` by
+    /// name, directly declared, in either direction. The reverse direction
+    /// matters because the paper treats associations as symmetric in
+    /// context expressions.
+    pub fn own_link_by_name(&self, class: ClassId, name: &str) -> Option<AssocId> {
+        self.outgoing(class)
+            .iter()
+            .chain(self.incoming(class).iter())
+            .copied()
+            .find(|&a| self.assoc(a).name == name)
+    }
+}
+
+/// Internal: used by the builder to assemble a schema, then validated.
+pub(crate) fn assemble(
+    classes: Vec<ClassDef>,
+    assocs: Vec<AssocDef>,
+) -> Result<Schema, SchemaError> {
+    let mut class_by_name = FxHashMap::default();
+    for c in &classes {
+        if class_by_name.insert(c.name.clone(), c.id).is_some() {
+            return Err(SchemaError::DuplicateClass(c.name.clone()));
+        }
+    }
+    let n = classes.len();
+    let mut outgoing = vec![Vec::new(); n];
+    let mut incoming = vec![Vec::new(); n];
+    let mut supers = vec![Vec::new(); n];
+    let mut subs = vec![Vec::new(); n];
+    for a in &assocs {
+        if a.from.index() >= n || a.to.index() >= n {
+            return Err(SchemaError::DanglingAssoc { assoc: a.name.clone() });
+        }
+        outgoing[a.from.index()].push(a.id);
+        incoming[a.to.index()].push(a.id);
+        if a.kind == AssocKind::Generalization {
+            supers[a.to.index()].push(a.from);
+            subs[a.from.index()].push(a.to);
+        }
+    }
+    let schema = Schema {
+        classes,
+        assocs,
+        class_by_name,
+        outgoing,
+        incoming,
+        supers,
+        subs,
+    };
+    validate(&schema)?;
+    Ok(schema)
+}
+
+/// Structural validation (paper §2 constraints).
+fn validate(s: &Schema) -> Result<(), SchemaError> {
+    // Link-name uniqueness per emanating class.
+    for c in &s.classes {
+        let mut seen = crate::fxhash::FxHashSet::default();
+        for &a in s.outgoing(c.id) {
+            if !seen.insert(s.assoc(a).name.as_str()) {
+                return Err(SchemaError::DuplicateAssocName {
+                    class: c.name.clone(),
+                    assoc: s.assoc(a).name.clone(),
+                });
+            }
+        }
+    }
+    for a in &s.assocs {
+        let from = s.class(a.from);
+        let to = s.class(a.to);
+        // D-classes are pure value domains: no outgoing links.
+        if from.is_domain() {
+            return Err(SchemaError::DClassWithOutgoingAssoc { class: from.name.clone() });
+        }
+        // Generalization connects E-classes only.
+        if a.kind == AssocKind::Generalization && (from.is_domain() || to.is_domain()) {
+            let offender = if from.is_domain() { from } else { to };
+            return Err(SchemaError::GeneralizationOnDClass { class: offender.name.clone() });
+        }
+        let _ = matches!(a.kind, AssocKind::Crossproduct); // all kinds structurally legal
+    }
+    // Generalization acyclicity (DFS, three-colour).
+    let n = s.classes.len();
+    let mut colour = vec![0u8; n]; // 0 white, 1 grey, 2 black
+    fn dfs(s: &Schema, c: ClassId, colour: &mut [u8]) -> Result<(), SchemaError> {
+        colour[c.index()] = 1;
+        for &sup in s.direct_supers(c) {
+            match colour[sup.index()] {
+                0 => dfs(s, sup, colour)?,
+                1 => {
+                    return Err(SchemaError::GeneralizationCycle {
+                        class: s.class(sup).name.clone(),
+                    })
+                }
+                _ => {}
+            }
+        }
+        colour[c.index()] = 2;
+        Ok(())
+    }
+    for c in &s.classes {
+        if colour[c.id.index()] == 0 {
+            dfs(s, c.id, &mut colour)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::schema::builder::SchemaBuilder;
+    use crate::schema::class::ClassKind;
+    use crate::value::DType;
+
+    #[test]
+    fn basic_lookup_and_attrs() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("Person");
+        b.d_class("Name", DType::Str);
+        b.attr("Person", "Name");
+        b.e_class("Student");
+        b.generalize("Person", "Student");
+        let s = b.build().unwrap();
+
+        let person = s.class_by_name("Person").unwrap();
+        let student = s.class_by_name("Student").unwrap();
+        assert!(s.class(person).is_entity());
+        assert_eq!(s.own_attrs(person).len(), 1);
+        assert_eq!(s.own_attrs(student).len(), 0);
+        assert_eq!(s.direct_supers(student), &[person]);
+        assert_eq!(s.direct_subs(person), &[student]);
+        assert!(s.g_link(person, student).is_some());
+        assert!(s.g_link(student, person).is_none());
+        assert_eq!(s.attr_dtype(s.own_attr_by_name(person, "Name").unwrap()), Some(DType::Str));
+    }
+
+    #[test]
+    fn rejects_duplicate_class() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("X");
+        b.e_class("X");
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_generalization_cycle() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("A");
+        b.e_class("B");
+        b.generalize("A", "B");
+        b.generalize("B", "A");
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_link_name() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("A");
+        b.e_class("B");
+        b.aggregate_named("A", "B", "lnk");
+        b.aggregate_named("A", "B", "lnk");
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn d_class_kind_checks() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("A");
+        b.d_class("V", DType::Int);
+        b.attr("A", "V");
+        let s = b.build().unwrap();
+        let v = s.class_by_name("V").unwrap();
+        assert_eq!(s.class(v).kind, ClassKind::DClass(DType::Int));
+        assert_eq!(s.d_classes().count(), 1);
+        assert_eq!(s.e_classes().count(), 1);
+    }
+
+    #[test]
+    fn direct_assocs_between_both_directions() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("A");
+        b.e_class("B");
+        b.aggregate("A", "B");
+        b.aggregate_named("B", "A", "back");
+        let s = b.build().unwrap();
+        let a = s.class_by_name("A").unwrap();
+        let bb = s.class_by_name("B").unwrap();
+        assert_eq!(s.direct_assocs_between(a, bb).len(), 2);
+        assert_eq!(s.direct_assocs_between(bb, a).len(), 2);
+    }
+}

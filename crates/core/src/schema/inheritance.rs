@@ -1,0 +1,690 @@
+//! Generalization-hierarchy reasoning: ancestor closures, inherited
+//! attributes, the expanded class view of Fig. 2.2, and — most importantly —
+//! **association-edge resolution** for context expressions (paper §3.2).
+//!
+//! The paper's rules, which this module encodes:
+//!
+//! * "A class inherits all the aggregation associations that connect to or
+//!   emanate from its superclasses" — inheritance works in both link
+//!   directions.
+//! * "`RA * Section` is a legal expression since the class RA inherits the
+//!   aggregation association with Section along a **unique** generalization
+//!   path."
+//! * "The class TA inherits the status of being related to Section from both
+//!   Teacher and Grad, with each of them having its distinctive meaning. In
+//!   this case at least one of the classes along the intended generalization
+//!   path has to be explicitly referenced … to resolve the ambiguity."
+//! * A generalization link at the instance level "is an identity link …
+//!   two different perspectives of the same real-world object", so an edge
+//!   between two classes of one hierarchy (e.g. `TA * Grad`, or
+//!   `Student * Teacher` through Person) is a perspective traversal.
+//!
+//! Resolution therefore proceeds in three stages:
+//!
+//! 1. **Direct**: an association declared between exactly the two classes
+//!    (including a direct G link). A unique direct association always wins.
+//! 2. **Inherited**: non-generalization associations between the ancestor
+//!    closures of the two classes. Candidates are grouped by association;
+//!    if surviving candidates reach the classes through *different
+//!    generalization branches*, the edge is ambiguous (the TA * Section
+//!    case) — depth does **not** break ties across branches.
+//! 3. **Identity**: the two classes share a common ancestor; the edge climbs
+//!    one perspective chain and descends the other.
+
+use crate::error::ResolveError;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::ids::{AssocId, ClassId};
+use crate::schema::assoc::AssocKind;
+use crate::schema::graph::Schema;
+
+/// A resolved traversal step between two classes in a context expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolvedEdge {
+    /// Traverse an ordinary association, possibly after climbing
+    /// generalization chains on either side.
+    ///
+    /// Instance semantics: from an X-instance, climb the `up_x` G links
+    /// (subclass → superclass perspective), traverse `assoc` (in `forward`
+    /// direction or backwards), then descend `up_y` in reverse (superclass
+    /// perspective → subclass perspective; objects lacking the subclass
+    /// perspective do not qualify).
+    Assoc {
+        /// G links to climb on the left side, bottom-up.
+        up_x: Vec<AssocId>,
+        /// The ordinary association traversed.
+        assoc: AssocId,
+        /// `true` if the left side is the association's `from` end.
+        forward: bool,
+        /// G links to climb on the right side, bottom-up (descended in
+        /// reverse during traversal).
+        up_y: Vec<AssocId>,
+    },
+    /// Identity traversal within one generalization hierarchy: climb from X
+    /// to the nearest common ancestor, then descend to Y.
+    Identity {
+        /// G links climbed from X up to the apex, bottom-up.
+        up_x: Vec<AssocId>,
+        /// G links descended from the apex down to Y, top-down.
+        down_y: Vec<AssocId>,
+    },
+}
+
+/// An inherited (or own) attribute resolved for a class: the declaring
+/// ancestor and the G-chain to climb from an instance to the declaring
+/// perspective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedAttr {
+    /// The class that declares the attribute.
+    pub owner: ClassId,
+    /// The attribute association (E→D aggregation).
+    pub attr: AssocId,
+    /// G links to climb from the instance to the owner perspective,
+    /// bottom-up. Empty when the attribute is declared on the class itself.
+    pub up_chain: Vec<AssocId>,
+}
+
+/// One entry of an expanded class view (Fig. 2.2): an association available
+/// on a class, with its provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InheritedAssoc {
+    /// The association.
+    pub assoc: AssocId,
+    /// The ancestor (or the class itself) that declares it.
+    pub declared_on: ClassId,
+    /// Whether `declared_on` is the association's `from` end.
+    pub emanating: bool,
+    /// Generalization depth from the class to `declared_on` (0 = own).
+    pub depth: u32,
+}
+
+impl Schema {
+    /// All ancestors of `class` (not including itself), BFS order, each with
+    /// its minimal generalization depth. Deterministic: direct supers are
+    /// visited in declaration order.
+    pub fn ancestors(&self, class: ClassId) -> Vec<(ClassId, u32)> {
+        let mut out = Vec::new();
+        let mut seen: FxHashSet<ClassId> = FxHashSet::default();
+        seen.insert(class);
+        let mut frontier = vec![class];
+        let mut depth = 0u32;
+        while !frontier.is_empty() {
+            depth += 1;
+            let mut next = Vec::new();
+            for c in frontier {
+                for &sup in self.direct_supers(c) {
+                    if seen.insert(sup) {
+                        out.push((sup, depth));
+                        next.push(sup);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    /// Whether `anc` is a (strict) ancestor of `class`.
+    pub fn is_ancestor(&self, anc: ClassId, class: ClassId) -> bool {
+        self.ancestors(class).iter().any(|&(c, _)| c == anc)
+    }
+
+    /// The shortest upward G-link chain from `class` to ancestor `anc`
+    /// (bottom-up), or `None` if `anc` is not an ancestor. Deterministic.
+    pub fn up_chain(&self, class: ClassId, anc: ClassId) -> Option<Vec<AssocId>> {
+        if class == anc {
+            return Some(Vec::new());
+        }
+        // BFS recording the first (deterministic) parent edge.
+        let mut parent: FxHashMap<ClassId, (ClassId, AssocId)> = FxHashMap::default();
+        let mut frontier = vec![class];
+        let mut seen: FxHashSet<ClassId> = FxHashSet::default();
+        seen.insert(class);
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for c in frontier {
+                for &sup in self.direct_supers(c) {
+                    if seen.insert(sup) {
+                        let g = self.g_link(sup, c).expect("supers imply G link");
+                        parent.insert(sup, (c, g));
+                        if sup == anc {
+                            // Reconstruct chain bottom-up.
+                            let mut chain = Vec::new();
+                            let mut cur = anc;
+                            while cur != class {
+                                let (below, g) = parent[&cur];
+                                chain.push(g);
+                                cur = below;
+                            }
+                            chain.reverse();
+                            return Some(chain);
+                        }
+                        next.push(sup);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        None
+    }
+
+    /// The *branch* through which `class` reaches ancestor `anc`: the direct
+    /// superclass of `class` on the (deterministic shortest) path, or
+    /// `class` itself when `anc == class`. Used for the paper's ambiguity
+    /// rule: candidates reached through different branches conflict.
+    fn branch_towards(&self, class: ClassId, anc: ClassId) -> ClassId {
+        if class == anc {
+            return class;
+        }
+        let chain = self.up_chain(class, anc).expect("anc must be ancestor");
+        // First G link climbed: its `from` is the direct super used.
+        self.assoc(chain[0]).from
+    }
+
+    /// All attributes available on `class`: own first, then inherited
+    /// nearest-first. Duplicate associations (diamonds) appear once. Name
+    /// shadowing: a nearer attribute hides a farther one of the same name.
+    pub fn inherited_attrs(&self, class: ClassId) -> Vec<ResolvedAttr> {
+        let mut out: Vec<ResolvedAttr> = Vec::new();
+        let mut names: FxHashSet<String> = FxHashSet::default();
+        let push_attrs = |s: &Schema, owner: ClassId, out: &mut Vec<ResolvedAttr>,
+                              names: &mut FxHashSet<String>| {
+            for a in s.own_attrs(owner) {
+                let name = s.assoc(a).name.clone();
+                if names.insert(name) {
+                    let up_chain = s.up_chain(class, owner).expect("owner is self or ancestor");
+                    out.push(ResolvedAttr { owner, attr: a, up_chain });
+                }
+            }
+        };
+        push_attrs(self, class, &mut out, &mut names);
+        for (anc, _) in self.ancestors(class) {
+            push_attrs(self, anc, &mut out, &mut names);
+        }
+        out
+    }
+
+    /// Resolve attribute `name` on `class`, searching the class itself and
+    /// then its ancestors nearest-first (paper: `RA` sees `SS` from Person,
+    /// `Degree` from Teacher, …).
+    pub fn resolve_attr(&self, class: ClassId, name: &str) -> Result<ResolvedAttr, ResolveError> {
+        if let Some(a) = self.own_attr_by_name(class, name) {
+            return Ok(ResolvedAttr { owner: class, attr: a, up_chain: Vec::new() });
+        }
+        // Nearest-first over ancestors; ambiguity if two *different* attrs of
+        // the same name appear at the same minimal depth via different
+        // branches.
+        let ancs = self.ancestors(class);
+        let mut best: Option<(u32, ResolvedAttr)> = None;
+        let mut conflict = false;
+        for (anc, depth) in ancs {
+            if let Some(a) = self.own_attr_by_name(anc, name) {
+                match &best {
+                    None => {
+                        let up_chain = self.up_chain(class, anc).unwrap();
+                        best = Some((depth, ResolvedAttr { owner: anc, attr: a, up_chain }));
+                    }
+                    Some((d, r)) if *d == depth && r.attr != a => conflict = true,
+                    _ => {}
+                }
+            }
+        }
+        if conflict {
+            return Err(ResolveError::Ambiguous {
+                from: self.class(class).name.clone(),
+                to: name.to_string(),
+                candidates: vec!["multiple inherited attributes".into()],
+            });
+        }
+        best.map(|(_, r)| r).ok_or_else(|| ResolveError::UnknownAttribute {
+            class: self.class(class).name.clone(),
+            attr: name.to_string(),
+        })
+    }
+
+    /// The expanded view of a class with "all the associations inherited …
+    /// from its superclasses explicitly represented" (Fig. 2.2).
+    pub fn expanded_view(&self, class: ClassId) -> Vec<InheritedAssoc> {
+        let mut out = Vec::new();
+        let mut seen: FxHashSet<AssocId> = FxHashSet::default();
+        let collect = |s: &Schema, c: ClassId, depth: u32, out: &mut Vec<InheritedAssoc>,
+                           seen: &mut FxHashSet<AssocId>| {
+            for &a in s.outgoing(c) {
+                // Skip the G links that form the hierarchy itself at depth>0;
+                // they are the inheritance mechanism, not inherited content.
+                if depth > 0 && s.assoc(a).kind == AssocKind::Generalization {
+                    continue;
+                }
+                if seen.insert(a) {
+                    out.push(InheritedAssoc { assoc: a, declared_on: c, emanating: true, depth });
+                }
+            }
+            for &a in s.incoming(c) {
+                if s.assoc(a).kind == AssocKind::Generalization {
+                    continue;
+                }
+                if seen.insert(a) {
+                    out.push(InheritedAssoc { assoc: a, declared_on: c, emanating: false, depth });
+                }
+            }
+        };
+        collect(self, class, 0, &mut out, &mut seen);
+        for (anc, depth) in self.ancestors(class) {
+            collect(self, anc, depth, &mut out, &mut seen);
+        }
+        out
+    }
+
+    /// Resolve the association edge `x * y` of a context expression.
+    /// See the module docs for the three-stage procedure.
+    pub fn resolve_edge(&self, x: ClassId, y: ClassId) -> Result<ResolvedEdge, ResolveError> {
+        // Stage 1: direct associations between exactly x and y.
+        let direct = self.direct_assocs_between(x, y);
+        match direct.len() {
+            1 => {
+                let a = direct[0];
+                return Ok(ResolvedEdge::Assoc {
+                    up_x: Vec::new(),
+                    assoc: a,
+                    forward: self.assoc(a).from == x,
+                    up_y: Vec::new(),
+                });
+            }
+            n if n > 1 => {
+                return Err(ResolveError::Ambiguous {
+                    from: self.class(x).name.clone(),
+                    to: self.class(y).name.clone(),
+                    candidates: direct
+                        .iter()
+                        .map(|&a| format!("direct link `{}`", self.assoc(a).name))
+                        .collect(),
+                });
+            }
+            _ => {}
+        }
+
+        // Stage 2: inherited non-generalization associations.
+        let anc_x: Vec<(ClassId, u32)> = std::iter::once((x, 0))
+            .chain(self.ancestors(x))
+            .collect();
+        let anc_y: Vec<(ClassId, u32)> = std::iter::once((y, 0))
+            .chain(self.ancestors(y))
+            .collect();
+        
+        let set_y: FxHashMap<ClassId, u32> = anc_y.iter().copied().collect();
+
+        struct Cand {
+            assoc: AssocId,
+            forward: bool,
+            xp: ClassId,
+            yp: ClassId,
+            depth: u32,
+        }
+        let mut cands: Vec<Cand> = Vec::new();
+        for &(xp, dx) in &anc_x {
+            for &a in self.outgoing(xp).iter().chain(self.incoming(xp).iter()) {
+                let d = self.assoc(a);
+                if d.kind == AssocKind::Generalization {
+                    continue;
+                }
+                let other = d.other_end(xp);
+                if let Some(&dy) = set_y.get(&other) {
+                    // Avoid double-push for self-loop assocs at the same pair.
+                    cands.push(Cand {
+                        assoc: a,
+                        forward: d.from == xp,
+                        xp,
+                        yp: other,
+                        depth: dx + dy,
+                    });
+                }
+            }
+        }
+        // Dedup: the same (assoc, xp, yp, forward) can be found twice when
+        // xp's outgoing and incoming both touch (self loops).
+        cands.sort_by_key(|c| (c.assoc, c.xp, c.yp, c.forward, c.depth));
+        cands.dedup_by_key(|c| (c.assoc, c.xp, c.yp, c.forward));
+
+        if !cands.is_empty() {
+            // Keep only the minimal-depth candidate per association.
+            let mut best_per_assoc: FxHashMap<AssocId, usize> = FxHashMap::default();
+            for (i, c) in cands.iter().enumerate() {
+                match best_per_assoc.get(&c.assoc) {
+                    Some(&j) if cands[j].depth <= c.depth => {}
+                    _ => {
+                        best_per_assoc.insert(c.assoc, i);
+                    }
+                }
+            }
+            let reps: Vec<&Cand> = {
+                let mut idxs: Vec<usize> = best_per_assoc.values().copied().collect();
+                idxs.sort_unstable();
+                idxs.into_iter().map(|i| &cands[i]).collect()
+            };
+            let chosen: &Cand = if reps.len() == 1 {
+                reps[0]
+            } else {
+                // Multiple distinct associations: conflict iff they reach the
+                // classes through different generalization branches.
+                let branches: FxHashSet<(ClassId, ClassId)> = reps
+                    .iter()
+                    .map(|c| (self.branch_towards(x, c.xp), self.branch_towards(y, c.yp)))
+                    .collect();
+                if branches.len() > 1 {
+                    return Err(ResolveError::Ambiguous {
+                        from: self.class(x).name.clone(),
+                        to: self.class(y).name.clone(),
+                        candidates: reps
+                            .iter()
+                            .map(|c| {
+                                format!(
+                                    "`{}` via {}",
+                                    self.assoc(c.assoc).name,
+                                    self.class(c.xp).name
+                                )
+                            })
+                            .collect(),
+                    });
+                }
+                // Same branch: nearest wins; equal depth is a conflict.
+                let min = reps.iter().map(|c| c.depth).min().unwrap();
+                let winners: Vec<&&Cand> = reps.iter().filter(|c| c.depth == min).collect();
+                if winners.len() > 1 {
+                    return Err(ResolveError::Ambiguous {
+                        from: self.class(x).name.clone(),
+                        to: self.class(y).name.clone(),
+                        candidates: winners
+                            .iter()
+                            .map(|c| format!("`{}`", self.assoc(c.assoc).name))
+                            .collect(),
+                    });
+                }
+                winners[0]
+            };
+            return Ok(ResolvedEdge::Assoc {
+                up_x: self.up_chain(x, chosen.xp).unwrap(),
+                assoc: chosen.assoc,
+                forward: chosen.forward,
+                up_y: self.up_chain(y, chosen.yp).unwrap(),
+            });
+        }
+
+        // Stage 3: identity traversal through a common ancestor.
+        if x != y {
+            let mut best: Option<(u32, ClassId)> = None;
+            for &(cx, dx) in &anc_x {
+                if let Some(&dy) = set_y.get(&cx) {
+                    let total = dx + dy;
+                    match best {
+                        Some((d, c)) if d < total || (d == total && c <= cx) => {}
+                        _ => best = Some((total, cx)),
+                    }
+                }
+            }
+            if let Some((_, apex)) = best {
+                let up_x = self.up_chain(x, apex).unwrap();
+                let down_y = {
+                    let mut c = self.up_chain(y, apex).unwrap();
+                    c.reverse();
+                    c
+                };
+                return Ok(ResolvedEdge::Identity { up_x, down_y });
+            }
+        }
+
+        Err(ResolveError::NotAssociated {
+            from: self.class(x).name.clone(),
+            to: self.class(y).name.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::builder::SchemaBuilder;
+    use crate::value::DType;
+
+    /// A miniature of the paper's university hierarchy:
+    /// Person ⊒ {Student, Teacher}; Student ⊒ Grad; Grad ⊒ {TA, RA};
+    /// Teacher ⊒ {TA, Faculty}; Teacher—Section (Teaches);
+    /// Student—Section (Enrolls); Advising—Grad, Advising—Faculty.
+    fn uni() -> Schema {
+        let mut b = SchemaBuilder::new();
+        for c in [
+            "Person", "Student", "Teacher", "Grad", "TA", "RA", "Faculty", "Section", "Advising",
+        ] {
+            b.e_class(c);
+        }
+        b.d_class("SS", DType::Str);
+        b.d_class("Degree", DType::Str);
+        b.d_class("GPA", DType::Real);
+        b.attr("Person", "SS");
+        b.attr("Teacher", "Degree");
+        b.attr("Grad", "GPA");
+        b.generalize("Person", "Student");
+        b.generalize("Person", "Teacher");
+        b.generalize("Student", "Grad");
+        b.generalize("Grad", "TA");
+        b.generalize("Grad", "RA");
+        b.generalize("Teacher", "TA");
+        b.generalize("Teacher", "Faculty");
+        b.aggregate_named("Teacher", "Section", "Teaches");
+        b.aggregate_named("Student", "Section", "Enrolls");
+        b.aggregate_named("Advising", "Grad", "Advisee");
+        b.aggregate_named("Advising", "Faculty", "Advisor");
+        b.build().unwrap()
+    }
+
+    fn id(s: &Schema, n: &str) -> ClassId {
+        s.class_by_name(n).unwrap()
+    }
+
+    #[test]
+    fn ancestors_bfs_depths() {
+        let s = uni();
+        let ta = id(&s, "TA");
+        let a: Vec<(String, u32)> = s
+            .ancestors(ta)
+            .into_iter()
+            .map(|(c, d)| (s.class(c).name.clone(), d))
+            .collect();
+        assert_eq!(
+            a,
+            vec![
+                ("Grad".to_string(), 1),
+                ("Teacher".to_string(), 1),
+                ("Student".to_string(), 2),
+                ("Person".to_string(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn is_ancestor_works() {
+        let s = uni();
+        assert!(s.is_ancestor(id(&s, "Person"), id(&s, "TA")));
+        assert!(!s.is_ancestor(id(&s, "TA"), id(&s, "Person")));
+        assert!(!s.is_ancestor(id(&s, "Faculty"), id(&s, "TA")));
+    }
+
+    #[test]
+    fn up_chain_shortest_path() {
+        let s = uni();
+        let chain = s.up_chain(id(&s, "TA"), id(&s, "Person")).unwrap();
+        assert_eq!(chain.len(), 2);
+        // First climbed link must start from TA's direct super (Grad or Teacher).
+        let first = s.assoc(chain[0]);
+        assert_eq!(first.to, id(&s, "TA"));
+    }
+
+    #[test]
+    fn inherited_attrs_nearest_first() {
+        let s = uni();
+        let ra = id(&s, "RA");
+        let attrs: Vec<String> = s
+            .inherited_attrs(ra)
+            .iter()
+            .map(|r| s.assoc(r.attr).name.clone())
+            .collect();
+        // RA: GPA (Grad, depth 1), SS (Person, depth 3) — no Degree
+        // (Teacher is not an ancestor of RA).
+        assert_eq!(attrs, vec!["GPA".to_string(), "SS".to_string()]);
+    }
+
+    #[test]
+    fn resolve_attr_inherited_with_chain() {
+        let s = uni();
+        let r = s.resolve_attr(id(&s, "TA"), "SS").unwrap();
+        assert_eq!(r.owner, id(&s, "Person"));
+        assert_eq!(r.up_chain.len(), 2);
+        let own = s.resolve_attr(id(&s, "Grad"), "GPA").unwrap();
+        assert!(own.up_chain.is_empty());
+        assert!(s.resolve_attr(id(&s, "Faculty"), "GPA").is_err());
+    }
+
+    #[test]
+    fn expanded_view_contains_inherited_links() {
+        let s = uni();
+        let view = s.expanded_view(id(&s, "RA"));
+        let names: Vec<&str> = view.iter().map(|e| s.assoc(e.assoc).name.as_str()).collect();
+        // RA inherits Enrolls (via Student), Advisee (incoming, via Grad),
+        // GPA, SS.
+        assert!(names.contains(&"Enrolls"));
+        assert!(names.contains(&"Advisee"));
+        assert!(names.contains(&"GPA"));
+        assert!(names.contains(&"SS"));
+        assert!(!names.contains(&"Teaches"));
+    }
+
+    #[test]
+    fn direct_edge_wins() {
+        let s = uni();
+        match s.resolve_edge(id(&s, "Teacher"), id(&s, "Section")).unwrap() {
+            ResolvedEdge::Assoc { up_x, forward, up_y, assoc } => {
+                assert!(up_x.is_empty() && up_y.is_empty() && forward);
+                assert_eq!(s.assoc(assoc).name, "Teaches");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ra_section_resolves_uniquely() {
+        // Paper: "RA * Section is a legal expression" — unique path via
+        // Grad → Student's Enrolls.
+        let s = uni();
+        match s.resolve_edge(id(&s, "RA"), id(&s, "Section")).unwrap() {
+            ResolvedEdge::Assoc { up_x, assoc, .. } => {
+                assert_eq!(s.assoc(assoc).name, "Enrolls");
+                assert_eq!(up_x.len(), 2); // RA → Grad → Student
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ta_section_is_ambiguous() {
+        // Paper: TA inherits being related to Section from both Teacher and
+        // Grad — ambiguous, regardless of the differing depths.
+        let s = uni();
+        let err = s.resolve_edge(id(&s, "TA"), id(&s, "Section")).unwrap_err();
+        match err {
+            ResolveError::Ambiguous { candidates, .. } => {
+                assert_eq!(candidates.len(), 2);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ta_grad_uses_direct_g_link() {
+        let s = uni();
+        match s.resolve_edge(id(&s, "TA"), id(&s, "Grad")).unwrap() {
+            ResolvedEdge::Assoc { assoc, forward, .. } => {
+                assert!(s.assoc(assoc).is_generalization());
+                assert!(!forward); // TA is the `to` end of G(Grad → TA)
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disambiguation_via_intermediate_class() {
+        // TA * Teacher * Section and TA * Grad * Section both resolve.
+        let s = uni();
+        assert!(s.resolve_edge(id(&s, "TA"), id(&s, "Teacher")).is_ok());
+        assert!(s.resolve_edge(id(&s, "Teacher"), id(&s, "Section")).is_ok());
+        assert!(s.resolve_edge(id(&s, "TA"), id(&s, "Grad")).is_ok());
+        match s.resolve_edge(id(&s, "Grad"), id(&s, "Section")).unwrap() {
+            ResolvedEdge::Assoc { assoc, up_x, .. } => {
+                assert_eq!(s.assoc(assoc).name, "Enrolls");
+                assert_eq!(up_x.len(), 1); // Grad → Student
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sibling_identity_join_through_person() {
+        // Student * Teacher: persons who are both students and teachers.
+        let s = uni();
+        match s.resolve_edge(id(&s, "Student"), id(&s, "Teacher")).unwrap() {
+            ResolvedEdge::Identity { up_x, down_y } => {
+                assert_eq!(up_x.len(), 1);
+                assert_eq!(down_y.len(), 1);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn descendant_identity_when_no_direct_g() {
+        // TA * Student: no direct G link, no ordinary assoc — identity climb.
+        let s = uni();
+        match s.resolve_edge(id(&s, "TA"), id(&s, "Student")).unwrap() {
+            ResolvedEdge::Identity { up_x, down_y } => {
+                assert_eq!(up_x.len(), 2); // TA → Grad → Student
+                assert!(down_y.is_empty());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unrelated_classes_not_associated() {
+        let s = uni();
+        // Advising and Section share no association or ancestor.
+        assert!(matches!(
+            s.resolve_edge(id(&s, "Advising"), id(&s, "Section")),
+            Err(ResolveError::NotAssociated { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_direct_links_ambiguous() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("A");
+        b.e_class("B");
+        b.aggregate_named("A", "B", "x");
+        b.aggregate_named("A", "B", "y");
+        let s = b.build().unwrap();
+        assert!(matches!(
+            s.resolve_edge(id(&s, "A"), id(&s, "B")),
+            Err(ResolveError::Ambiguous { .. })
+        ));
+    }
+
+    #[test]
+    fn self_loop_resolves() {
+        // Course —Prereq→ Course (used by transitive closure).
+        let mut b = SchemaBuilder::new();
+        b.e_class("Course");
+        b.aggregate_named("Course", "Course", "Prereq");
+        let s = b.build().unwrap();
+        let c = id(&s, "Course");
+        match s.resolve_edge(c, c).unwrap() {
+            ResolvedEdge::Assoc { assoc, .. } => assert_eq!(s.assoc(assoc).name, "Prereq"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! The OSAM* structural schema: classes, the five association types,
+//! generalization hierarchies with inheritance, and S-diagram rendering.
+
+pub mod assoc;
+pub mod builder;
+pub mod class;
+pub mod graph;
+pub mod inheritance;
+pub mod sdiagram;
+pub mod text;
+
+pub use assoc::{AssocDef, AssocKind, Cardinality};
+pub use builder::SchemaBuilder;
+pub use class::{ClassDef, ClassKind};
+pub use graph::Schema;
+pub use inheritance::{InheritedAssoc, ResolvedAttr, ResolvedEdge};
+pub use text::{parse_schema, print_schema, SchemaTextError};

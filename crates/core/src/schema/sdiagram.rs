@@ -1,0 +1,118 @@
+//! Rendering of Semantic Diagrams (S-diagrams).
+//!
+//! "Graphically, object classes are represented as nodes and associations
+//! among object classes are represented as links. The resulting diagram is
+//! called the Semantic Diagram or S-diagram" (paper §2). E-classes are
+//! rectangular nodes, D-classes circular; we render a textual form and a
+//! Graphviz DOT form.
+
+use crate::schema::assoc::AssocKind;
+use crate::schema::graph::Schema;
+use std::fmt::Write as _;
+
+impl Schema {
+    /// A textual S-diagram: one block per class, listing its links grouped
+    /// by association type letter, as in Fig. 2.1.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for c in self.classes() {
+            let shape = if c.is_entity() { "[E]" } else { "(D)" };
+            let _ = writeln!(out, "{shape} {}", c.name);
+            // Group outgoing links by kind letter, preserving declaration
+            // order within a group (the paper groups same-type links under
+            // one letter label).
+            for kind in [
+                AssocKind::Aggregation,
+                AssocKind::Generalization,
+                AssocKind::Interaction,
+                AssocKind::Composition,
+                AssocKind::Crossproduct,
+            ] {
+                let links: Vec<String> = self
+                    .outgoing(c.id)
+                    .iter()
+                    .map(|&a| self.assoc(a))
+                    .filter(|d| d.kind == kind)
+                    .map(|d| {
+                        let target = &self.class(d.to).name;
+                        if d.name == *target {
+                            target.clone()
+                        } else {
+                            format!("{} -> {}", d.name, target)
+                        }
+                    })
+                    .collect();
+                if !links.is_empty() {
+                    let _ = writeln!(out, "  {}: {}", kind.letter(), links.join(", "));
+                }
+            }
+        }
+        out
+    }
+
+    /// A Graphviz DOT rendering: E-classes as boxes, D-classes as circles,
+    /// generalization links with empty-arrow heads.
+    pub fn render_dot(&self) -> String {
+        let mut out = String::from("digraph schema {\n  rankdir=BT;\n");
+        for c in self.classes() {
+            let shape = if c.is_entity() { "box" } else { "ellipse" };
+            let _ = writeln!(out, "  {:?} [shape={shape}];", c.name);
+        }
+        for a in self.assocs() {
+            let style = match a.kind {
+                AssocKind::Generalization => " [arrowhead=onormal, label=\"G\"]".to_string(),
+                k => {
+                    let mut label = String::new();
+                    label.push(k.letter());
+                    if a.name != self.class(a.to).name {
+                        label = format!("{label}:{}", a.name);
+                    }
+                    format!(" [label={label:?}]")
+                }
+            };
+            let _ = writeln!(
+                out,
+                "  {:?} -> {:?}{style};",
+                self.class(a.from).name,
+                self.class(a.to).name
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::schema::builder::SchemaBuilder;
+    use crate::value::DType;
+
+    #[test]
+    fn text_rendering_groups_by_letter() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("Person");
+        b.e_class("Student");
+        b.d_class("SS", DType::Str);
+        b.attr("Person", "SS");
+        b.generalize("Person", "Student");
+        let s = b.build().unwrap();
+        let text = s.render_text();
+        assert!(text.contains("[E] Person"));
+        assert!(text.contains("(D) SS"));
+        assert!(text.contains("A: SS"));
+        assert!(text.contains("G: G_Student -> Student"));
+    }
+
+    #[test]
+    fn dot_rendering_well_formed() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("A");
+        b.e_class("B");
+        b.aggregate("A", "B");
+        let s = b.build().unwrap();
+        let dot = s.render_dot();
+        assert!(dot.starts_with("digraph schema {"));
+        assert!(dot.contains("\"A\" -> \"B\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

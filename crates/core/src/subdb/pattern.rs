@@ -1,0 +1,223 @@
+//! Extensional association patterns.
+//!
+//! "An extensional pattern can be represented as a tuple of OIDs" (paper
+//! §3.1); a component may be Null (the pattern `(t3, s4)` "whose Course
+//! component is Null"). The **extensional pattern type** is "the common
+//! template that is shared by several extensional patterns", denoted by a
+//! tuple of class names; we represent a type as the bitmask of non-null
+//! slots of the owning intension.
+
+use crate::ids::Oid;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A pattern type: bitmask over the slots of an intension (bit i set ⇔ slot
+/// i is non-null). Limits an intension to 64 slots, asserted at
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PatternType(pub u64);
+
+impl PatternType {
+    /// The empty type (all components Null).
+    pub const EMPTY: PatternType = PatternType(0);
+
+    /// Whether `self` is a strict sub-type of `other` (fewer non-null
+    /// slots, all contained in `other`'s).
+    #[inline]
+    pub fn is_strict_subtype_of(self, other: PatternType) -> bool {
+        self != other && (self.0 & other.0) == self.0
+    }
+
+    /// Whether slot `i` is non-null in this type.
+    #[inline]
+    pub fn has(self, i: usize) -> bool {
+        (self.0 >> i) & 1 == 1
+    }
+
+    /// Number of non-null slots.
+    #[inline]
+    pub fn arity(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterate the slot indices present in this type, ascending.
+    pub fn slots(self) -> impl Iterator<Item = usize> {
+        let bits = self.0;
+        (0..64usize).filter(move |&i| (bits >> i) & 1 == 1)
+    }
+}
+
+/// An extensional association pattern: one `Option<Oid>` per slot of the
+/// owning intension.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ExtPattern {
+    components: Box<[Option<Oid>]>,
+}
+
+impl ExtPattern {
+    /// Build from components. Panics if more than 64 slots.
+    pub fn new(components: impl Into<Box<[Option<Oid>]>>) -> Self {
+        let components = components.into();
+        assert!(components.len() <= 64, "intension limited to 64 slots");
+        Self { components }
+    }
+
+    /// An all-null pattern of the given width.
+    pub fn nulls(width: usize) -> Self {
+        Self::new(vec![None; width])
+    }
+
+    /// Convenience: build from raw OIDs (all non-null).
+    pub fn full(oids: impl IntoIterator<Item = Oid>) -> Self {
+        Self::new(oids.into_iter().map(Some).collect::<Vec<_>>())
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Component at slot `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<Oid> {
+        self.components[i]
+    }
+
+    /// All components.
+    #[inline]
+    pub fn components(&self) -> &[Option<Oid>] {
+        &self.components
+    }
+
+    /// Set slot `i` (builder-style use during evaluation).
+    pub fn set(&mut self, i: usize, oid: Option<Oid>) {
+        self.components[i] = oid;
+    }
+
+    /// The pattern's type: the bitmask of non-null slots.
+    pub fn pattern_type(&self) -> PatternType {
+        let mut bits = 0u64;
+        for (i, c) in self.components.iter().enumerate() {
+            if c.is_some() {
+                bits |= 1 << i;
+            }
+        }
+        PatternType(bits)
+    }
+
+    /// Whether this pattern is a strict *part* of `other`: `other` agrees on
+    /// every non-null component of `self` and has strictly more non-null
+    /// components. The paper drops such patterns: "an extensional pattern of
+    /// a certain specified type will not appear independently in the result
+    /// if it is part of a larger extensional pattern" (§5.1).
+    pub fn is_part_of(&self, other: &ExtPattern) -> bool {
+        debug_assert_eq!(self.width(), other.width());
+        let st = self.pattern_type();
+        let ot = other.pattern_type();
+        if !st.is_strict_subtype_of(ot) {
+            return false;
+        }
+        st.slots().all(|i| self.components[i] == other.components[i])
+    }
+
+    /// Project onto the given slots (producing a narrower pattern).
+    pub fn project(&self, slots: &[usize]) -> ExtPattern {
+        ExtPattern::new(slots.iter().map(|&i| self.components[i]).collect::<Vec<_>>())
+    }
+
+    /// Widen to `width` slots, placing this pattern's components at
+    /// `positions` (parallel to `self.components()`).
+    pub fn widen(&self, width: usize, positions: &[usize]) -> ExtPattern {
+        debug_assert_eq!(positions.len(), self.width());
+        let mut out = vec![None; width];
+        for (src, &dst) in positions.iter().enumerate() {
+            out[dst] = self.components[src];
+        }
+        ExtPattern::new(out)
+    }
+}
+
+impl fmt::Display for ExtPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match c {
+                Some(oid) => write!(f, "{oid}")?,
+                None => f.write_str("Null")?,
+            }
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: &[Option<u64>]) -> ExtPattern {
+        ExtPattern::new(v.iter().map(|o| o.map(Oid)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn pattern_type_bits() {
+        let pat = p(&[Some(1), None, Some(3)]);
+        let t = pat.pattern_type();
+        assert!(t.has(0) && !t.has(1) && t.has(2));
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.slots().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn subtype_relation() {
+        let a = PatternType(0b011);
+        let b = PatternType(0b111);
+        assert!(a.is_strict_subtype_of(b));
+        assert!(!b.is_strict_subtype_of(a));
+        assert!(!a.is_strict_subtype_of(a));
+        assert!(!PatternType(0b101).is_strict_subtype_of(0b011.into()));
+    }
+
+    #[test]
+    fn part_of_requires_agreement() {
+        // Paper §5.1: (b5, c5) is part of (a1, b5, c5, d5).
+        let small = p(&[None, Some(5), Some(6), None]);
+        let big = p(&[Some(1), Some(5), Some(6), Some(7)]);
+        assert!(small.is_part_of(&big));
+        // Same shape, different OIDs: not a part.
+        let other = p(&[Some(1), Some(5), Some(99), Some(7)]);
+        assert!(!small.is_part_of(&other));
+        // A pattern is not part of itself.
+        assert!(!big.is_part_of(&big));
+    }
+
+    #[test]
+    fn project_and_widen_round_trip() {
+        let pat = p(&[Some(1), Some(2), Some(3)]);
+        let narrow = pat.project(&[0, 2]);
+        assert_eq!(narrow, p(&[Some(1), Some(3)]));
+        let wide = narrow.widen(3, &[0, 2]);
+        assert_eq!(wide, p(&[Some(1), None, Some(3)]));
+    }
+
+    #[test]
+    fn display_with_nulls() {
+        let pat = p(&[Some(3), None]);
+        assert_eq!(pat.to_string(), "(o3, Null)");
+    }
+
+    #[test]
+    fn full_and_nulls_constructors() {
+        assert_eq!(ExtPattern::full([Oid(1), Oid(2)]).pattern_type().arity(), 2);
+        assert_eq!(ExtPattern::nulls(3).pattern_type(), PatternType::EMPTY);
+    }
+}
+
+impl From<u64> for PatternType {
+    fn from(bits: u64) -> Self {
+        PatternType(bits)
+    }
+}

@@ -1,0 +1,148 @@
+//! The registry of derived subdatabases.
+//!
+//! Classes of derived subdatabases are referenced as `Subdb:Class` — "by
+//! qualifying the class name with the subdatabase name using a colon"
+//! (paper §4.1). The registry resolves such qualified references and tracks
+//! a validity epoch per entry so the rule engine can invalidate
+//! post-evaluated results when base data changes.
+
+use crate::fxhash::FxHashMap;
+use crate::subdb::subdatabase::Subdatabase;
+
+/// A registry entry: the materialized subdatabase plus the engine epoch at
+/// which it was derived.
+#[derive(Debug, Clone)]
+pub struct RegistryEntry {
+    /// The derived subdatabase.
+    pub subdb: Subdatabase,
+    /// Epoch (update watermark) at derivation time.
+    pub derived_at: u64,
+}
+
+/// Registry of derived subdatabases, keyed by name.
+#[derive(Debug, Default, Clone)]
+pub struct SubdbRegistry {
+    entries: FxHashMap<String, RegistryEntry>,
+}
+
+impl SubdbRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace a derived subdatabase.
+    pub fn put(&mut self, subdb: Subdatabase, derived_at: u64) {
+        self.entries
+            .insert(subdb.name.clone(), RegistryEntry { subdb, derived_at });
+    }
+
+    /// Get an entry by subdatabase name.
+    pub fn get(&self, name: &str) -> Option<&RegistryEntry> {
+        self.entries.get(name)
+    }
+
+    /// Get the subdatabase by name.
+    pub fn subdb(&self, name: &str) -> Option<&Subdatabase> {
+        self.entries.get(name).map(|e| &e.subdb)
+    }
+
+    /// Remove an entry (invalidate).
+    pub fn remove(&mut self, name: &str) -> Option<Subdatabase> {
+        self.entries.remove(name).map(|e| e.subdb)
+    }
+
+    /// Whether an entry exists and was derived at or after `epoch`.
+    pub fn is_fresh(&self, name: &str, epoch: u64) -> bool {
+        self.entries
+            .get(name)
+            .is_some_and(|e| e.derived_at >= epoch)
+    }
+
+    /// Names of registered subdatabases, sorted (deterministic).
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.entries.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Resolve a `Subdb:Class` qualified reference to (subdatabase, slot
+    /// index).
+    pub fn resolve_qualified(&self, subdb: &str, class: &str) -> Option<(&Subdatabase, usize)> {
+        let s = self.subdb(subdb)?;
+        let slot = s.intension.slot_by_name(class)?;
+        Some((s, slot))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clear all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClassId;
+    use crate::subdb::intension::{Intension, SlotDef};
+
+    fn sd(name: &str) -> Subdatabase {
+        Subdatabase::new(
+            name,
+            Intension::new(vec![
+                SlotDef::base("Teacher", ClassId(0)),
+                SlotDef::base("Course", ClassId(1)),
+            ]),
+        )
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let mut r = SubdbRegistry::new();
+        r.put(sd("Teacher_course"), 3);
+        assert!(r.get("Teacher_course").is_some());
+        assert_eq!(r.get("Teacher_course").unwrap().derived_at, 3);
+        assert!(r.subdb("Nope").is_none());
+        assert!(r.remove("Teacher_course").is_some());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn freshness() {
+        let mut r = SubdbRegistry::new();
+        r.put(sd("S"), 5);
+        assert!(r.is_fresh("S", 5));
+        assert!(r.is_fresh("S", 4));
+        assert!(!r.is_fresh("S", 6));
+        assert!(!r.is_fresh("T", 0));
+    }
+
+    #[test]
+    fn qualified_resolution() {
+        let mut r = SubdbRegistry::new();
+        r.put(sd("Teacher_course"), 0);
+        let (s, slot) = r.resolve_qualified("Teacher_course", "Course").unwrap();
+        assert_eq!(s.name, "Teacher_course");
+        assert_eq!(slot, 1);
+        assert!(r.resolve_qualified("Teacher_course", "Section").is_none());
+        assert!(r.resolve_qualified("Nope", "Course").is_none());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut r = SubdbRegistry::new();
+        r.put(sd("b"), 0);
+        r.put(sd("a"), 0);
+        assert_eq!(r.names(), vec!["a", "b"]);
+    }
+}

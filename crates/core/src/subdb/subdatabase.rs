@@ -1,0 +1,287 @@
+//! Subdatabases: an intensional pattern plus a set of extensional patterns
+//! (paper §3.1). This is the closed universe of the rule language: "the
+//! world of subdatabases is closed under this rule-based language".
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::ids::Oid;
+use crate::subdb::intension::Intension;
+use crate::subdb::pattern::{ExtPattern, PatternType};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A subdatabase: "a portion of the original database … an intensional
+/// association pattern and a set of extensional association patterns".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Subdatabase {
+    /// Unique name (the `subdatabase-id` of a rule's THEN clause).
+    pub name: String,
+    /// The intensional pattern.
+    pub intension: Intension,
+    /// The extensional patterns, deterministically ordered.
+    patterns: BTreeSet<ExtPattern>,
+}
+
+impl Subdatabase {
+    /// An empty subdatabase over the given intension.
+    pub fn new(name: impl Into<String>, intension: Intension) -> Self {
+        Subdatabase { name: name.into(), intension, patterns: BTreeSet::new() }
+    }
+
+    /// Number of extensional patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the extension is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Insert a pattern (set semantics: duplicates collapse). Returns
+    /// whether the pattern was new. Panics in debug builds on a width
+    /// mismatch.
+    pub fn insert(&mut self, p: ExtPattern) -> bool {
+        debug_assert_eq!(p.width(), self.intension.width(), "pattern width mismatch");
+        self.patterns.insert(p)
+    }
+
+    /// Iterate patterns in deterministic (lexicographic) order.
+    pub fn patterns(&self) -> impl Iterator<Item = &ExtPattern> {
+        self.patterns.iter()
+    }
+
+    /// Collect patterns into a vector.
+    pub fn to_vec(&self) -> Vec<ExtPattern> {
+        self.patterns.iter().cloned().collect()
+    }
+
+    /// Replace the full pattern set.
+    pub fn set_patterns(&mut self, ps: impl IntoIterator<Item = ExtPattern>) {
+        self.patterns = ps.into_iter().collect();
+    }
+
+    /// The distinct instances appearing in a slot — the extent of that
+    /// target class ("the set of instances of a target class is a subset of
+    /// the set of instances of the source class", paper §4).
+    pub fn slot_extent(&self, slot: usize) -> BTreeSet<Oid> {
+        self.patterns.iter().filter_map(|p| p.get(slot)).collect()
+    }
+
+    /// Extent of a slot by name.
+    pub fn extent_of(&self, slot_name: &str) -> Option<BTreeSet<Oid>> {
+        self.intension.slot_by_name(slot_name).map(|i| self.slot_extent(i))
+    }
+
+    /// The distinct pattern types present, with pattern counts — the paper
+    /// enumerates "the five extensional pattern types present in the
+    /// extensional diagram of Figure 3.1b".
+    pub fn pattern_types(&self) -> BTreeMap<PatternType, usize> {
+        let mut out = BTreeMap::new();
+        for p in &self.patterns {
+            *out.entry(p.pattern_type()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Drop every pattern that is a strict part of another retained pattern
+    /// (paper §5.1 subsumption). Grouped by pattern type so the check is
+    /// O(types² · patterns) rather than O(patterns²).
+    pub fn retain_maximal(&mut self) {
+        let by_type: FxHashMap<PatternType, Vec<&ExtPattern>> = {
+            let mut m: FxHashMap<PatternType, Vec<&ExtPattern>> = FxHashMap::default();
+            for p in &self.patterns {
+                m.entry(p.pattern_type()).or_default().push(p);
+            }
+            m
+        };
+        let types: Vec<PatternType> = by_type.keys().copied().collect();
+        let mut dead: FxHashSet<ExtPattern> = FxHashSet::default();
+        for &small in &types {
+            // Candidate supertypes.
+            let supers: Vec<PatternType> = types
+                .iter()
+                .copied()
+                .filter(|&big| small.is_strict_subtype_of(big))
+                .collect();
+            if supers.is_empty() {
+                continue;
+            }
+            let small_slots: Vec<usize> = small.slots().collect();
+            // Projections of every supertype pattern onto the small type's
+            // slots.
+            let mut proj: FxHashSet<Vec<Option<Oid>>> = FxHashSet::default();
+            for &big in &supers {
+                for p in &by_type[&big] {
+                    proj.insert(small_slots.iter().map(|&i| p.get(i)).collect());
+                }
+            }
+            for p in &by_type[&small] {
+                let key: Vec<Option<Oid>> = small_slots.iter().map(|&i| p.get(i)).collect();
+                if proj.contains(&key) {
+                    dead.insert((*p).clone());
+                }
+            }
+        }
+        if !dead.is_empty() {
+            self.patterns.retain(|p| !dead.contains(p));
+        }
+    }
+
+    /// Union another subdatabase's patterns into this one. Both rules R4
+    /// and R5 "derive extensional patterns into the same subdatabase
+    /// May_teach … May_teach will contain the union of the two sets"
+    /// (paper §4.2). The intensions must have identical slot names.
+    pub fn union_from(&mut self, other: &Subdatabase) {
+        debug_assert_eq!(
+            self.intension.slots.iter().map(|s| &s.name).collect::<Vec<_>>(),
+            other.intension.slots.iter().map(|s| &s.name).collect::<Vec<_>>(),
+            "union requires identical slot layout"
+        );
+        for p in other.patterns() {
+            self.patterns.insert(p.clone());
+        }
+    }
+
+    /// Project onto the given slots, producing a new subdatabase with a
+    /// narrower intension (used by rule THEN clauses). Duplicate projected
+    /// patterns collapse.
+    pub fn project(&self, name: impl Into<String>, slots: &[usize]) -> Subdatabase {
+        let slot_defs = slots.iter().map(|&i| self.intension.slots[i].clone()).collect();
+        let mut intension = Intension::new(slot_defs);
+        // Preserve derived edges whose endpoints are both retained.
+        for e in &self.intension.edges {
+            if let (Some(a), Some(b)) = (
+                slots.iter().position(|&s| s == e.a as usize),
+                slots.iter().position(|&s| s == e.b as usize),
+            ) {
+                intension.add_edge(a, b);
+            }
+        }
+        let mut out = Subdatabase::new(name, intension);
+        for p in &self.patterns {
+            out.insert(p.project(slots));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Subdatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "subdatabase {} {}", self.name, self.intension)?;
+        for p in &self.patterns {
+            writeln!(f, "  {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClassId;
+    use crate::subdb::intension::SlotDef;
+
+    fn subdb() -> Subdatabase {
+        let mut i = Intension::new(vec![
+            SlotDef::base("A", ClassId(0)),
+            SlotDef::base("B", ClassId(1)),
+            SlotDef::base("C", ClassId(2)),
+        ]);
+        i.add_edge(0, 1);
+        i.add_edge(1, 2);
+        Subdatabase::new("S", i)
+    }
+
+    fn p(v: &[Option<u64>]) -> ExtPattern {
+        ExtPattern::new(v.iter().map(|o| o.map(Oid)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut s = subdb();
+        assert!(s.insert(p(&[Some(1), Some(2), None])));
+        assert!(!s.insert(p(&[Some(1), Some(2), None])));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn slot_extents() {
+        let mut s = subdb();
+        s.insert(p(&[Some(1), Some(2), Some(3)]));
+        s.insert(p(&[Some(1), Some(4), None]));
+        let a = s.extent_of("A").unwrap();
+        assert_eq!(a.len(), 1);
+        let b = s.extent_of("B").unwrap();
+        assert_eq!(b.len(), 2);
+        let c = s.extent_of("C").unwrap();
+        assert_eq!(c.len(), 1);
+        assert!(s.extent_of("Z").is_none());
+    }
+
+    #[test]
+    fn pattern_type_census() {
+        let mut s = subdb();
+        s.insert(p(&[Some(1), Some(2), Some(3)]));
+        s.insert(p(&[Some(9), Some(2), None]));
+        s.insert(p(&[None, Some(5), Some(6)]));
+        let census = s.pattern_types();
+        assert_eq!(census.len(), 3);
+        assert_eq!(census[&PatternType(0b111)], 1);
+        assert_eq!(census[&PatternType(0b011)], 1);
+        assert_eq!(census[&PatternType(0b110)], 1);
+    }
+
+    #[test]
+    fn retain_maximal_drops_parts() {
+        // Paper §5.1: (b5,c5) dropped because part of (a1,b5,c5,d5);
+        // (b2,c2) retained.
+        let i = Intension::new(vec![
+            SlotDef::base("A", ClassId(0)),
+            SlotDef::base("B", ClassId(1)),
+            SlotDef::base("C", ClassId(2)),
+            SlotDef::base("D", ClassId(3)),
+        ]);
+        let mut s = Subdatabase::new("X", i);
+        s.insert(ExtPattern::new(vec![Some(Oid(1)), Some(Oid(5)), Some(Oid(6)), Some(Oid(7))]));
+        s.insert(ExtPattern::new(vec![None, Some(Oid(5)), Some(Oid(6)), None]));
+        s.insert(ExtPattern::new(vec![None, Some(Oid(2)), Some(Oid(3)), None]));
+        s.retain_maximal();
+        assert_eq!(s.len(), 2);
+        assert!(s.patterns().all(|p| p.get(1) != Some(Oid(5)) || p.get(0).is_some()));
+    }
+
+    #[test]
+    fn union_semantics() {
+        let mut a = subdb();
+        a.insert(p(&[Some(1), Some(2), Some(3)]));
+        let mut b = subdb();
+        b.insert(p(&[Some(1), Some(2), Some(3)]));
+        b.insert(p(&[Some(4), Some(5), Some(6)]));
+        a.union_from(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn project_keeps_edges_and_collapses() {
+        let mut s = subdb();
+        s.insert(p(&[Some(1), Some(2), Some(3)]));
+        s.insert(p(&[Some(1), Some(9), Some(3)]));
+        let t = s.project("T", &[0, 2]);
+        assert_eq!(t.len(), 1); // both project to (1, 3)
+        assert_eq!(t.intension.width(), 2);
+        // No original edge between A and C, so no retained edges.
+        assert!(t.intension.edges.is_empty());
+        let u = s.project("U", &[0, 1]);
+        assert!(u.intension.has_edge(0, 1));
+    }
+
+    #[test]
+    fn display_lists_patterns() {
+        let mut s = subdb();
+        s.insert(p(&[Some(1), Some(2), None]));
+        let text = s.to_string();
+        assert!(text.contains("subdatabase S"));
+        assert!(text.contains("(o1, o2, Null)"));
+    }
+}

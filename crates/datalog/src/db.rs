@@ -1,0 +1,96 @@
+//! The fact store: one relation (set of tuples) per predicate.
+
+use crate::program::Pred;
+use dood_core::fxhash::FxHashMap;
+use std::collections::BTreeSet;
+
+/// A relation: a set of constant tuples.
+pub type Relation = BTreeSet<Vec<u64>>;
+
+/// The extensional + intensional fact store.
+#[derive(Debug, Default, Clone)]
+pub struct FactDb {
+    rels: FxHashMap<Pred, Relation>,
+}
+
+impl FactDb {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a fact. Returns whether it was new.
+    pub fn insert(&mut self, pred: Pred, tuple: Vec<u64>) -> bool {
+        self.rels.entry(pred).or_default().insert(tuple)
+    }
+
+    /// The relation for a predicate (empty if absent).
+    pub fn relation(&self, pred: Pred) -> Option<&Relation> {
+        self.rels.get(&pred)
+    }
+
+    /// Tuples of a predicate, deterministically ordered.
+    pub fn tuples(&self, pred: Pred) -> impl Iterator<Item = &Vec<u64>> {
+        self.rels.get(&pred).into_iter().flatten()
+    }
+
+    /// Number of facts of a predicate.
+    pub fn count(&self, pred: Pred) -> usize {
+        self.rels.get(&pred).map_or(0, |r| r.len())
+    }
+
+    /// Whether a fact is present.
+    pub fn contains(&self, pred: Pred, tuple: &[u64]) -> bool {
+        self.rels.get(&pred).is_some_and(|r| r.contains(tuple))
+    }
+
+    /// Total fact count.
+    pub fn total(&self) -> usize {
+        self.rels.values().map(|r| r.len()).sum()
+    }
+
+    /// Merge `other` into `self`. Returns the number of new facts.
+    pub fn absorb(&mut self, other: &FactDb) -> usize {
+        let mut added = 0;
+        for (&p, rel) in &other.rels {
+            let target = self.rels.entry(p).or_default();
+            for t in rel {
+                if target.insert(t.clone()) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut db = FactDb::new();
+        let p = Pred(0);
+        assert!(db.insert(p, vec![1, 2]));
+        assert!(!db.insert(p, vec![1, 2]));
+        assert!(db.contains(p, &[1, 2]));
+        assert!(!db.contains(p, &[2, 1]));
+        assert_eq!(db.count(p), 1);
+        assert_eq!(db.total(), 1);
+        assert_eq!(db.tuples(p).count(), 1);
+        assert!(db.relation(Pred(9)).is_none());
+    }
+
+    #[test]
+    fn absorb_counts_new_facts() {
+        let mut a = FactDb::new();
+        a.insert(Pred(0), vec![1]);
+        let mut b = FactDb::new();
+        b.insert(Pred(0), vec![1]);
+        b.insert(Pred(0), vec![2]);
+        b.insert(Pred(1), vec![3]);
+        assert_eq!(a.absorb(&b), 2);
+        assert_eq!(a.total(), 3);
+    }
+}

@@ -1,0 +1,19 @@
+//! # dood-datalog
+//!
+//! A from-scratch semi-naive Datalog engine: the relational-deductive
+//! baseline the paper positions its OO rule language against (§1).
+//! Includes naive and semi-naive bottom-up evaluation and a translator
+//! from `dood` object databases to flat relations, so the benchmark suite
+//! can compare the two approaches on identical data.
+
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod eval;
+pub mod program;
+pub mod translate;
+
+pub use db::{FactDb, Relation};
+pub use eval::{naive, seminaive, EvalStats};
+pub use program::{c, v, Atom, DlRule, Pred, Program, Term, Var};
+pub use translate::{translate, Translated};

@@ -1,0 +1,211 @@
+//! Datalog terms, atoms, rules and programs.
+//!
+//! The baseline deliberately mirrors the "PROLOG-based deductive relational"
+//! line of work the paper positions itself against (§1): positive Datalog
+//! over flat relations, evaluated bottom-up (naive or semi-naive).
+
+use dood_core::fxhash::FxHashMap;
+use std::fmt;
+
+/// A predicate identifier (interned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pred(pub u32);
+
+/// A variable identifier (scoped to one rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub u32);
+
+/// A term: variable or constant (constants are `u64`, e.g. OIDs or interned
+/// symbols).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Term {
+    /// A rule-scoped variable.
+    Var(Var),
+    /// A constant.
+    Const(u64),
+}
+
+/// An atom `p(t1, …, tn)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The predicate.
+    pub pred: Pred,
+    /// Arguments.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom.
+    pub fn new(pred: Pred, args: Vec<Term>) -> Self {
+        Atom { pred, args }
+    }
+}
+
+/// A Horn rule `head :- body1, …, bodyn` (positive bodies only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DlRule {
+    /// The derived atom.
+    pub head: Atom,
+    /// The body atoms (conjunctive).
+    pub body: Vec<Atom>,
+}
+
+impl DlRule {
+    /// Construct a rule. Panics (debug) if a head variable is unbound in
+    /// the body (unsafe rule).
+    pub fn new(head: Atom, body: Vec<Atom>) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let bound: Vec<Var> = body
+                .iter()
+                .flat_map(|a| a.args.iter())
+                .filter_map(|t| match t {
+                    Term::Var(v) => Some(*v),
+                    Term::Const(_) => None,
+                })
+                .collect();
+            for t in &head.args {
+                if let Term::Var(v) = t {
+                    debug_assert!(bound.contains(v), "unsafe rule: head var not in body");
+                }
+            }
+        }
+        DlRule { head, body }
+    }
+}
+
+/// A predicate-name interner plus the rule list.
+#[derive(Debug, Default, Clone)]
+pub struct Program {
+    /// The rules.
+    pub rules: Vec<DlRule>,
+    names: Vec<String>,
+    by_name: FxHashMap<String, Pred>,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a predicate name.
+    pub fn pred(&mut self, name: &str) -> Pred {
+        if let Some(&p) = self.by_name.get(name) {
+            return p;
+        }
+        let p = Pred(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), p);
+        p
+    }
+
+    /// Predicate name (for display).
+    pub fn pred_name(&self, p: Pred) -> &str {
+        &self.names[p.0 as usize]
+    }
+
+    /// Look up an interned predicate.
+    pub fn try_pred(&self, name: &str) -> Option<Pred> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of interned predicates.
+    pub fn pred_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Add a rule.
+    pub fn rule(&mut self, head: Atom, body: Vec<Atom>) {
+        self.rules.push(DlRule::new(head, body));
+    }
+
+    /// The predicates derived by rules (IDB).
+    pub fn idb(&self) -> Vec<Pred> {
+        let mut v: Vec<Pred> = self.rules.iter().map(|r| r.head.pred).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            let fmt_atom = |a: &Atom| {
+                let args: Vec<String> = a
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(v) => format!("X{}", v.0),
+                        Term::Const(c) => c.to_string(),
+                    })
+                    .collect();
+                format!("{}({})", self.pred_name(a.pred), args.join(", "))
+            };
+            let body: Vec<String> = r.body.iter().map(&fmt_atom).collect();
+            writeln!(f, "{} :- {}.", fmt_atom(&r.head), body.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: variable term.
+pub fn v(i: u32) -> Term {
+    Term::Var(Var(i))
+}
+
+/// Convenience: constant term.
+pub fn c(x: u64) -> Term {
+    Term::Const(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut p = Program::new();
+        let a = p.pred("edge");
+        let b = p.pred("path");
+        assert_eq!(p.pred("edge"), a);
+        assert_ne!(a, b);
+        assert_eq!(p.pred_name(b), "path");
+        assert_eq!(p.try_pred("nope"), None);
+        assert_eq!(p.pred_count(), 2);
+    }
+
+    #[test]
+    fn idb_lists_rule_heads() {
+        let mut p = Program::new();
+        let edge = p.pred("edge");
+        let path = p.pred("path");
+        p.rule(Atom::new(path, vec![v(0), v(1)]), vec![Atom::new(edge, vec![v(0), v(1)])]);
+        p.rule(
+            Atom::new(path, vec![v(0), v(2)]),
+            vec![Atom::new(edge, vec![v(0), v(1)]), Atom::new(path, vec![v(1), v(2)])],
+        );
+        assert_eq!(p.idb(), vec![path]);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn unsafe_rule_panics() {
+        let mut p = Program::new();
+        let path = p.pred("path");
+        let edge = p.pred("edge");
+        // Head var X1 never bound in body.
+        p.rule(Atom::new(path, vec![v(0), v(1)]), vec![Atom::new(edge, vec![v(0), v(0)])]);
+    }
+
+    #[test]
+    fn display_renders_rules() {
+        let mut p = Program::new();
+        let edge = p.pred("edge");
+        let path = p.pred("path");
+        p.rule(Atom::new(path, vec![v(0), v(1)]), vec![Atom::new(edge, vec![v(0), v(1)])]);
+        assert_eq!(p.to_string(), "path(X0, X1) :- edge(X0, X1).\n");
+    }
+}

@@ -1,0 +1,172 @@
+//! Translation of an OO database into flat relations — the encoding a
+//! relational-deductive system would use for the same data (paper §1), used
+//! for apples-to-apples baseline comparisons:
+//!
+//! * each E-class `C` becomes a unary predicate `class_C(oid)`;
+//! * each association `a` from `F` becomes a binary predicate
+//!   `assoc_F_a(from, to)` (generalization links included — they are the
+//!   identity links a relational encoding must also carry);
+//! * each descriptive attribute becomes `attr_C_a(oid, valsym)` with values
+//!   interned into a symbol table.
+
+use crate::db::FactDb;
+use crate::program::{Pred, Program};
+use dood_core::fxhash::FxHashMap;
+use dood_core::value::Value;
+use dood_store::Database;
+
+/// The outcome of translating a database.
+#[derive(Debug)]
+pub struct Translated {
+    /// The flat facts.
+    pub edb: FactDb,
+    /// Predicate interner (extend with rules afterwards).
+    pub program: Program,
+    /// Value symbol table (attribute values → symbols).
+    pub symbols: SymbolTable,
+}
+
+/// Interns attribute values as `u64` symbols.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    by_repr: FxHashMap<String, u64>,
+    reprs: Vec<String>,
+}
+
+impl SymbolTable {
+    /// Intern a value (by canonical string form).
+    pub fn intern(&mut self, v: &Value) -> u64 {
+        let repr = format!("{v:?}");
+        if let Some(&s) = self.by_repr.get(&repr) {
+            return s;
+        }
+        let s = self.reprs.len() as u64;
+        self.reprs.push(repr.clone());
+        self.by_repr.insert(repr, s);
+        s
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.reprs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reprs.is_empty()
+    }
+}
+
+/// Predicate name for a class extent.
+pub fn class_pred_name(db: &Database, class: dood_core::ids::ClassId) -> String {
+    format!("class_{}", db.schema().class(class).name)
+}
+
+/// Predicate name for an association.
+pub fn assoc_pred_name(db: &Database, assoc: dood_core::ids::AssocId) -> String {
+    let d = db.schema().assoc(assoc);
+    format!("assoc_{}_{}", db.schema().class(d.from).name, d.name)
+}
+
+/// Translate the full database.
+pub fn translate(db: &Database) -> Translated {
+    let mut program = Program::new();
+    let mut edb = FactDb::new();
+    let mut symbols = SymbolTable::default();
+    let schema = db.schema();
+
+    // Class extents.
+    for cdef in schema.e_classes() {
+        let p = program.pred(&class_pred_name(db, cdef.id));
+        for oid in db.extent(cdef.id) {
+            edb.insert(p, vec![oid.raw()]);
+        }
+    }
+    // Associations (E→E links, including generalization identity links).
+    for adef in schema.assocs() {
+        if schema.is_attribute(adef.id) {
+            continue;
+        }
+        let p = program.pred(&assoc_pred_name(db, adef.id));
+        for (from, to) in db.links(adef.id) {
+            edb.insert(p, vec![from.raw(), to.raw()]);
+        }
+    }
+    // Attributes.
+    for cdef in schema.e_classes() {
+        for attr in schema.own_attrs(cdef.id) {
+            let p = program.pred(&format!(
+                "attr_{}_{}",
+                cdef.name,
+                schema.assoc(attr).name
+            ));
+            for oid in db.extent(cdef.id) {
+                let v = db.attr_direct(oid, attr);
+                if !v.is_null() {
+                    let sym = symbols.intern(&v);
+                    edb.insert(p, vec![oid.raw(), sym]);
+                }
+            }
+        }
+    }
+    Translated { edb, program, symbols }
+}
+
+/// Intern the predicate for an association in a translated program.
+pub fn assoc_pred(t: &mut Translated, db: &Database, assoc: dood_core::ids::AssocId) -> Pred {
+    let name = assoc_pred_name(db, assoc);
+    t.program.pred(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dood_core::schema::SchemaBuilder;
+    use dood_core::value::DType;
+
+    #[test]
+    fn translation_covers_extents_links_attrs() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("Person");
+        b.e_class("Student");
+        b.e_class("Dept");
+        b.d_class("name", DType::Str);
+        b.attr("Person", "name");
+        b.generalize("Person", "Student");
+        b.aggregate_single_named("Student", "Dept", "Major");
+        let mut db = Database::new(b.build().unwrap());
+        let person = db.schema().class_by_name("Person").unwrap();
+        let student = db.schema().class_by_name("Student").unwrap();
+        let dept = db.schema().class_by_name("Dept").unwrap();
+        let major = db.schema().own_link_by_name(student, "Major").unwrap();
+        let p = db.new_object(person).unwrap();
+        db.set_attr(p, "name", Value::str("ann")).unwrap();
+        let s = db.specialize(p, student).unwrap();
+        let d = db.new_object(dept).unwrap();
+        db.associate(major, s, d).unwrap();
+
+        let t = translate(&db);
+        let cp = t.program.try_pred("class_Person").unwrap();
+        assert_eq!(t.edb.count(cp), 1);
+        let mp = t.program.try_pred("assoc_Student_Major").unwrap();
+        assert!(t.edb.contains(mp, &[s.raw(), d.raw()]));
+        // Generalization link translated too.
+        let gp = t.program.try_pred("assoc_Person_G_Student").unwrap();
+        assert!(t.edb.contains(gp, &[p.raw(), s.raw()]));
+        let ap = t.program.try_pred("attr_Person_name").unwrap();
+        assert_eq!(t.edb.count(ap), 1);
+        assert_eq!(t.symbols.len(), 1);
+    }
+
+    #[test]
+    fn symbols_dedupe() {
+        let mut st = SymbolTable::default();
+        let a = st.intern(&Value::str("x"));
+        let b = st.intern(&Value::str("x"));
+        let c = st.intern(&Value::Int(1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(st.len(), 2);
+        assert!(!st.is_empty());
+    }
+}

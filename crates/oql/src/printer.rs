@@ -1,0 +1,155 @@
+//! Pretty-printing of OQL ASTs back to concrete syntax.
+//!
+//! The printer and the parser are inverses: `parse(print(q)) == q`
+//! (property-tested in the integration suite). Used for rule/query
+//! persistence and diagnostics.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Render a context expression.
+pub fn print_context(e: &ContextExpr) -> String {
+    let mut out = print_seq(&e.seq);
+    match e.closure {
+        Some(ClosureSpec { iterations: None }) => out.push_str(" ^*"),
+        Some(ClosureSpec { iterations: Some(n) }) => {
+            let _ = write!(out, " ^{n}");
+        }
+        None => {}
+    }
+    out
+}
+
+fn print_seq(seq: &Seq) -> String {
+    let mut out = print_item(&seq.first);
+    for (op, item) in &seq.rest {
+        let _ = write!(out, " {op} {}", print_item(item));
+    }
+    out
+}
+
+fn print_item(item: &Item) -> String {
+    match item {
+        Item::Class { class, cond } => {
+            let mut out = class.to_string();
+            if let Some(p) = cond {
+                let _ = write!(out, " [{}]", print_pred(p));
+            }
+            out
+        }
+        Item::Group(seq) => format!("{{{}}}", print_seq(seq)),
+    }
+}
+
+/// Render a predicate (fully parenthesized — unambiguous, re-parseable).
+pub fn print_pred(p: &Pred) -> String {
+    match p {
+        Pred::Cmp { attr, op, value } => format!("{attr} {op} {value}"),
+        Pred::And(a, b) => format!("({} and {})", print_pred(a), print_pred(b)),
+        Pred::Or(a, b) => format!("({} or {})", print_pred(a), print_pred(b)),
+        Pred::Not(x) => format!("(not {})", print_pred(x)),
+    }
+}
+
+fn print_where(conds: &[WhereCond]) -> String {
+    conds
+        .iter()
+        .map(|c| match c {
+            WhereCond::Agg { func, target, attr, by, op, value } => {
+                let f = match func {
+                    AggFunc::Count => "count",
+                    AggFunc::Sum => "sum",
+                    AggFunc::Avg => "avg",
+                    AggFunc::Min => "min",
+                    AggFunc::Max => "max",
+                };
+                let mut s = format!("{f}({target}");
+                if let Some(a) = attr {
+                    let _ = write!(s, ".{a}");
+                }
+                if let Some(b) = by {
+                    let _ = write!(s, " by {b}");
+                }
+                let _ = write!(s, ") {op} {value}");
+                s
+            }
+            WhereCond::Cmp { left, op, right } => {
+                let rhs = match right {
+                    CmpRhs::Attr(c, a) => format!("{c}.{a}"),
+                    CmpRhs::Lit(l) => l.to_string(),
+                };
+                format!("{}.{} {op} {rhs}", left.0, left.1)
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" and ")
+}
+
+fn print_select(items: &[SelectItem]) -> String {
+    items
+        .iter()
+        .map(|i| match i {
+            SelectItem::Attr(a) => a.clone(),
+            SelectItem::Class(c) => c.to_string(),
+            SelectItem::ClassAttrs(c, attrs) => format!("{c}[{}]", attrs.join(", ")),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Render a full query block.
+pub fn print_query(q: &Query) -> String {
+    let mut out = format!("context {}", print_context(&q.context));
+    if !q.where_.is_empty() {
+        let _ = write!(out, " where {}", print_where(&q.where_));
+    }
+    if !q.select.is_empty() {
+        let _ = write!(out, " select {}", print_select(&q.select));
+    }
+    for op in &q.ops {
+        let _ = write!(out, " {op}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::Parser;
+
+    fn roundtrip(src: &str) {
+        let q = Parser::parse_query(src).unwrap();
+        let printed = print_query(&q);
+        let q2 = Parser::parse_query(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of `{printed}` failed: {e}"));
+        assert_eq!(q, q2, "round-trip mismatch for `{printed}`");
+    }
+
+    #[test]
+    fn paper_queries_round_trip() {
+        roundtrip("context Teacher * Section select name, section# display");
+        roundtrip(
+            "context Department * Course [c# >= 6000 and c# < 7000] * Section \
+             select name, title, textbook print",
+        );
+        roundtrip(
+            "context Faculty * Advising * May_teach:TA [GPA < 3.5] \
+             select TA[name], Faculty[name] display",
+        );
+        roundtrip("context {{Grad} * Advising} * Faculty select Grad[SS] display");
+        roundtrip("context Grad * TA * Teacher * Section * Student ^*");
+        roundtrip("context Course ^3");
+        roundtrip("context A ! B where count(B by A) > 2");
+        roundtrip("context A [not (x = 1 or y = 2.5)] * B where A.v = B.w");
+        roundtrip("context A [s = 'it''s'] select A");
+    }
+
+    #[test]
+    fn printed_forms_are_stable() {
+        let q = Parser::parse_query("context Teacher * Section select name display").unwrap();
+        assert_eq!(
+            print_query(&q),
+            "context Teacher * Section select name display"
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! The SELECT subclause and tabular output.
+//!
+//! "If the Display/Print operation is specified in the operation clause it
+//! causes the values of the descriptive attributes identified by the Select
+//! subclause to be displayed/printed in a tabular form" (paper §3.2). The
+//! result of Query 3.1 is "a binary table in which each tuple contains a
+//! name value and a section# value".
+
+use crate::ast::{ClassRef, SelectItem};
+use crate::error::QueryError;
+use crate::wherec::{find_slot, slot_attr};
+use dood_core::schema::ResolvedAttr;
+use dood_core::subdb::Subdatabase;
+use dood_core::value::Value;
+use dood_store::{Database, OrdValue};
+use std::fmt;
+
+/// A rendered, deduplicated, deterministically ordered result table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows, sorted and deduplicated.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Values of one column, by header name.
+    pub fn column(&self, name: &str) -> Option<Vec<&Value>> {
+        let idx = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|r| &r[idx]).collect())
+    }
+
+    fn normalize(&mut self) {
+        self.rows
+            .sort_by(|a, b| {
+                a.iter()
+                    .map(|v| OrdValue(v.clone()))
+                    .cmp(b.iter().map(|v| OrdValue(v.clone())))
+            });
+        self.rows.dedup();
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {c:<w$} |", w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.columns)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &rendered {
+            line(f, row)?;
+        }
+        writeln!(f, "({} rows)", self.rows.len())
+    }
+}
+
+/// A resolved output column.
+enum Column {
+    Attr { slot: usize, attr: ResolvedAttr, header: String },
+    Class { slot: usize, header: String },
+}
+
+/// Build the output table for a subdatabase under a SELECT clause. An empty
+/// clause selects every slot's accessible attributes (the paper's default:
+/// "the descriptive attributes of a class that appears in a subdatabase
+/// also appear with it by default").
+pub fn build_table(
+    sd: &Subdatabase,
+    select: &[SelectItem],
+    db: &Database,
+) -> Result<Table, QueryError> {
+    let schema = db.schema();
+    let int = &sd.intension;
+    let mut cols: Vec<Column> = Vec::new();
+    if select.is_empty() {
+        for (i, slot) in int.slots.iter().enumerate() {
+            for r in schema.inherited_attrs(slot.base) {
+                let name = &schema.assoc(r.attr).name;
+                if !slot.attr_accessible(name) {
+                    continue;
+                }
+                cols.push(Column::Attr {
+                    slot: i,
+                    attr: r.clone(),
+                    header: format!("{}.{}", slot.name, name),
+                });
+            }
+        }
+    } else {
+        for item in select {
+            match item {
+                SelectItem::ClassAttrs(cref, attrs) => {
+                    let slot = find_slot(int, cref)?;
+                    for a in attrs {
+                        let resolved = slot_attr(int, slot, a, schema)?;
+                        cols.push(Column::Attr {
+                            slot,
+                            attr: resolved,
+                            header: format!("{}.{a}", int.slots[slot].name),
+                        });
+                    }
+                }
+                SelectItem::Class(cref) => {
+                    let slot = find_slot(int, cref)?;
+                    cols.push(Column::Class { slot, header: int.slots[slot].name.clone() });
+                }
+                SelectItem::Attr(name) => {
+                    // A bare identifier: a slot name, or an attribute of a
+                    // unique slot.
+                    if let Ok(slot) = find_slot(int, &ClassRef::base(name.clone())) {
+                        cols.push(Column::Class { slot, header: int.slots[slot].name.clone() });
+                        continue;
+                    }
+                    let mut hits = Vec::new();
+                    for (i, slot) in int.slots.iter().enumerate() {
+                        if !slot.attr_accessible(name) {
+                            continue;
+                        }
+                        if let Ok(r) = schema.resolve_attr(slot.base, name) {
+                            hits.push((i, r));
+                        }
+                    }
+                    match hits.len() {
+                        1 => {
+                            let (slot, attr) = hits.pop().expect("len checked");
+                            cols.push(Column::Attr { slot, attr, header: name.clone() });
+                        }
+                        0 => {
+                            return Err(QueryError::Resolve(
+                                dood_core::error::ResolveError::UnknownAttribute {
+                                    class: "<context>".into(),
+                                    attr: name.clone(),
+                                },
+                            ))
+                        }
+                        _ => return Err(QueryError::AmbiguousAttribute(name.clone())),
+                    }
+                }
+            }
+        }
+    }
+    let columns: Vec<String> = cols
+        .iter()
+        .map(|c| match c {
+            Column::Attr { header, .. } | Column::Class { header, .. } => header.clone(),
+        })
+        .collect();
+    let mut rows = Vec::with_capacity(sd.len());
+    for p in sd.patterns() {
+        let row: Vec<Value> = cols
+            .iter()
+            .map(|c| match c {
+                Column::Attr { slot, attr, .. } => match p.get(*slot) {
+                    Some(oid) => db.attr_resolved(oid, attr),
+                    None => Value::Null,
+                },
+                Column::Class { slot, .. } => match p.get(*slot) {
+                    Some(oid) => Value::str(oid.to_string()),
+                    None => Value::Null,
+                },
+            })
+            .collect();
+        rows.push(row);
+    }
+    let mut t = Table { columns, rows };
+    t.normalize();
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dood_core::ids::Oid;
+    use dood_core::schema::SchemaBuilder;
+    use dood_core::subdb::{ExtPattern, Intension, SlotDef};
+    use dood_core::value::DType;
+
+    fn setup() -> (Database, Subdatabase) {
+        let mut b = SchemaBuilder::new();
+        b.e_class("Teacher");
+        b.e_class("Section");
+        b.d_class("name", DType::Str);
+        b.d_class("section#", DType::Int);
+        b.attr("Teacher", "name");
+        b.attr_named("Section", "section#", "section#");
+        b.aggregate_named("Teacher", "Section", "Teaches");
+        let mut db = Database::new(b.build().unwrap());
+        let teacher = db.schema().class_by_name("Teacher").unwrap();
+        let section = db.schema().class_by_name("Section").unwrap();
+        let t1 = db.new_object(teacher).unwrap();
+        let t2 = db.new_object(teacher).unwrap();
+        let s1 = db.new_object(section).unwrap();
+        let s2 = db.new_object(section).unwrap();
+        db.set_attr(t1, "name", Value::str("smith")).unwrap();
+        db.set_attr(t2, "name", Value::str("jones")).unwrap();
+        db.set_attr(s1, "section#", Value::Int(1)).unwrap();
+        db.set_attr(s2, "section#", Value::Int(2)).unwrap();
+        let mut int = Intension::new(vec![
+            SlotDef::base("Teacher", teacher),
+            SlotDef::base("Section", section),
+        ]);
+        int.add_edge(0, 1);
+        let mut sd = Subdatabase::new("ctx", int);
+        sd.insert(ExtPattern::new(vec![Some(t1), Some(s1)]));
+        sd.insert(ExtPattern::new(vec![Some(t2), Some(s2)]));
+        (db, sd)
+    }
+
+    #[test]
+    fn bare_attrs_resolve_uniquely() {
+        let (db, sd) = setup();
+        let t = build_table(
+            &sd,
+            &[SelectItem::Attr("name".into()), SelectItem::Attr("section#".into())],
+            &db,
+        )
+        .unwrap();
+        assert_eq!(t.columns, vec!["name", "section#"]);
+        assert_eq!(t.len(), 2);
+        // Sorted by name: jones before smith.
+        assert_eq!(t.rows[0][0], Value::str("jones"));
+    }
+
+    #[test]
+    fn class_attrs_and_oid_columns() {
+        let (db, sd) = setup();
+        let t = build_table(
+            &sd,
+            &[
+                SelectItem::ClassAttrs(ClassRef::base("Teacher"), vec!["name".into()]),
+                SelectItem::Class(ClassRef::base("Section")),
+            ],
+            &db,
+        )
+        .unwrap();
+        assert_eq!(t.columns, vec!["Teacher.name", "Section"]);
+        assert!(matches!(t.rows[0][1], Value::Str(_)));
+    }
+
+    #[test]
+    fn default_select_takes_all_attrs() {
+        let (db, sd) = setup();
+        let t = build_table(&sd, &[], &db).unwrap();
+        assert_eq!(t.columns, vec!["Teacher.name", "Section.section#"]);
+    }
+
+    #[test]
+    fn null_slots_render_null() {
+        let (db, mut sd) = setup();
+        sd.insert(ExtPattern::new(vec![Some(Oid(1)), None]));
+        let t = build_table(&sd, &[SelectItem::Attr("section#".into())], &db).unwrap();
+        assert!(t.rows.iter().any(|r| r[0] == Value::Null));
+    }
+
+    #[test]
+    fn duplicate_rows_collapse() {
+        let (db, sd) = setup();
+        // Selecting a constant-ish column (both teachers' sections exist) —
+        // select only teacher names, with two patterns per teacher.
+        let mut sd2 = sd.clone();
+        sd2.insert(ExtPattern::new(vec![sd.patterns().next().unwrap().get(0), None]));
+        let t = build_table(&sd2, &[SelectItem::Attr("name".into())], &db).unwrap();
+        assert_eq!(t.len(), 2); // deduplicated
+    }
+
+    #[test]
+    fn render_contains_headers_and_counts() {
+        let (db, sd) = setup();
+        let t = build_table(&sd, &[SelectItem::Attr("name".into())], &db).unwrap();
+        let s = t.to_string();
+        assert!(s.contains("name"));
+        assert!(s.contains("(2 rows)"));
+        assert!(s.contains("smith"));
+    }
+
+    #[test]
+    fn ambiguous_bare_attr_rejected() {
+        let (db, sd) = setup();
+        // Add a second Teacher slot: 'name' is now ambiguous.
+        let mut int = sd.intension.clone();
+        int.slots.push(SlotDef::base("Teacher_1", int.slots[0].base));
+        let sd2 = Subdatabase::new("x", Intension::new(int.slots));
+        let r = build_table(&sd2, &[SelectItem::Attr("name".into())], &db);
+        assert!(matches!(r, Err(QueryError::AmbiguousAttribute(_))));
+    }
+
+    #[test]
+    fn column_accessor() {
+        let (db, sd) = setup();
+        let t = build_table(&sd, &[SelectItem::Attr("name".into())], &db).unwrap();
+        assert_eq!(t.column("name").unwrap().len(), 2);
+        assert!(t.column("nope").is_none());
+    }
+}

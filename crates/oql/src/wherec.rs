@@ -1,0 +1,309 @@
+//! The WHERE subclause: inter-class comparisons and aggregation conditions
+//! (paper §3.2), applied to a Context subdatabase.
+//!
+//! "The Where subclause further causes the extensional patterns that do not
+//! satisfy some conditions to be dropped from the Context subdatabase."
+//! Conditions bind against the *result* intension, so they also work on the
+//! runtime-determined intensions of closure queries (`Grad_2`, …).
+
+use crate::ast::{AggFunc, ClassRef, CmpRhs, WhereCond};
+use crate::error::QueryError;
+use dood_core::error::ResolveError;
+use dood_core::fxhash::FxHashMap;
+use dood_core::ids::Oid;
+use dood_core::schema::{ResolvedAttr, Schema};
+use dood_core::subdb::{Intension, SlotSource, Subdatabase};
+use dood_core::value::Value;
+use dood_store::Database;
+use std::collections::BTreeSet;
+
+/// Find the unique slot a class reference denotes within an intension.
+pub fn find_slot(int: &Intension, cref: &ClassRef) -> Result<usize, QueryError> {
+    let mut hits = Vec::new();
+    for (i, s) in int.slots.iter().enumerate() {
+        if s.name != cref.name {
+            continue;
+        }
+        if let Some(q) = &cref.subdb {
+            let matches = matches!(&s.source, SlotSource::Derived { subdb, .. } if subdb == q);
+            if !matches {
+                continue;
+            }
+        }
+        hits.push(i);
+    }
+    match hits.len() {
+        1 => Ok(hits[0]),
+        0 => Err(QueryError::Resolve(ResolveError::UnknownClass(cref.to_string()))),
+        _ => Err(QueryError::AmbiguousAttribute(cref.to_string())),
+    }
+}
+
+/// Resolve an attribute on a slot, enforcing the slot's accessibility
+/// restriction.
+pub fn slot_attr(
+    int: &Intension,
+    slot: usize,
+    attr: &str,
+    schema: &Schema,
+) -> Result<ResolvedAttr, QueryError> {
+    let def = &int.slots[slot];
+    if !def.attr_accessible(attr) {
+        return Err(QueryError::Resolve(ResolveError::AttributeNotAccessible {
+            class: def.name.clone(),
+            attr: attr.to_string(),
+        }));
+    }
+    Ok(schema.resolve_attr(def.base, attr)?)
+}
+
+/// Apply WHERE conditions (conjunctive), dropping non-satisfying patterns.
+pub fn apply_where(
+    sd: &mut Subdatabase,
+    conds: &[WhereCond],
+    db: &Database,
+) -> Result<(), QueryError> {
+    for cond in conds {
+        match cond {
+            WhereCond::Cmp { left, op, right } => {
+                let lslot = find_slot(&sd.intension, &left.0)?;
+                let lattr = slot_attr(&sd.intension, lslot, &left.1, db.schema())?;
+                enum Rhs {
+                    Attr(usize, ResolvedAttr),
+                    Lit(Value),
+                }
+                let rhs = match right {
+                    CmpRhs::Lit(l) => Rhs::Lit(l.to_value()),
+                    CmpRhs::Attr(c, a) => {
+                        let rslot = find_slot(&sd.intension, c)?;
+                        let rattr = slot_attr(&sd.intension, rslot, a, db.schema())?;
+                        Rhs::Attr(rslot, rattr)
+                    }
+                };
+                let keep: Vec<_> = sd
+                    .patterns()
+                    .filter(|p| {
+                        let Some(lo) = p.get(lslot) else { return false };
+                        let lv = db.attr_resolved(lo, &lattr);
+                        let rv = match &rhs {
+                            Rhs::Lit(v) => v.clone(),
+                            Rhs::Attr(rslot, rattr) => match p.get(*rslot) {
+                                Some(ro) => db.attr_resolved(ro, rattr),
+                                None => Value::Null,
+                            },
+                        };
+                        match lv.compare(&rv) {
+                            Some(ord) => op.test(ord),
+                            None => false,
+                        }
+                    })
+                    .cloned()
+                    .collect();
+                sd.set_patterns(keep);
+            }
+            WhereCond::Agg { func, target, attr, by, op, value } => {
+                let tslot = find_slot(&sd.intension, target)?;
+                let tattr = match attr {
+                    Some(a) => Some(slot_attr(&sd.intension, tslot, a, db.schema())?),
+                    None => None,
+                };
+                let bslot = match by {
+                    Some(b) => Some(find_slot(&sd.intension, b)?),
+                    None => None,
+                };
+                // Accumulate per group: distinct target OIDs, then aggregate.
+                let mut groups: FxHashMap<Option<Oid>, BTreeSet<Oid>> = FxHashMap::default();
+                for p in sd.patterns() {
+                    let key = match bslot {
+                        Some(bs) => match p.get(bs) {
+                            Some(o) => Some(o),
+                            None => continue, // ungrouped pattern: cannot qualify
+                        },
+                        None => None,
+                    };
+                    if let Some(t) = p.get(tslot) {
+                        groups.entry(key).or_default().insert(t);
+                    } else {
+                        groups.entry(key).or_default();
+                    }
+                }
+                let threshold = value.to_value();
+                let mut passes: FxHashMap<Option<Oid>, bool> = FxHashMap::default();
+                for (key, targets) in &groups {
+                    let agg: Value = match (func, &tattr) {
+                        (AggFunc::Count, None) => Value::Int(targets.len() as i64),
+                        (f, attr_opt) => {
+                            // Collect non-null attribute values of distinct
+                            // targets (COUNT with an attribute counts
+                            // non-null values).
+                            let vals: Vec<f64> = targets
+                                .iter()
+                                .filter_map(|&o| {
+                                    let a = attr_opt.as_ref().expect("parser enforces attr");
+                                    db.attr_resolved(o, a).as_f64()
+                                })
+                                .collect();
+                            match f {
+                                AggFunc::Count => Value::Int(vals.len() as i64),
+                                AggFunc::Sum => Value::Real(vals.iter().sum()),
+                                AggFunc::Avg => {
+                                    if vals.is_empty() {
+                                        Value::Null
+                                    } else {
+                                        Value::Real(vals.iter().sum::<f64>() / vals.len() as f64)
+                                    }
+                                }
+                                AggFunc::Min => vals
+                                    .iter()
+                                    .copied()
+                                    .fold(None::<f64>, |m, v| {
+                                        Some(m.map_or(v, |x| x.min(v)))
+                                    })
+                                    .map_or(Value::Null, Value::Real),
+                                AggFunc::Max => vals
+                                    .iter()
+                                    .copied()
+                                    .fold(None::<f64>, |m, v| {
+                                        Some(m.map_or(v, |x| x.max(v)))
+                                    })
+                                    .map_or(Value::Null, Value::Real),
+                            }
+                        }
+                    };
+                    let ok = match agg.compare(&threshold) {
+                        Some(ord) => op.test(ord),
+                        None => false,
+                    };
+                    passes.insert(*key, ok);
+                }
+                let keep: Vec<_> = sd
+                    .patterns()
+                    .filter(|p| {
+                        let key = match bslot {
+                            Some(bs) => match p.get(bs) {
+                                Some(o) => Some(o),
+                                None => return false,
+                            },
+                            None => None,
+                        };
+                        passes.get(&key).copied().unwrap_or(false)
+                    })
+                    .cloned()
+                    .collect();
+                sd.set_patterns(keep);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::Parser;
+    use dood_core::ids::ClassId;
+    use dood_core::schema::SchemaBuilder;
+    use dood_core::subdb::{ExtPattern, SlotDef};
+    use dood_core::value::DType;
+
+    fn setup() -> (Database, Subdatabase) {
+        let mut b = SchemaBuilder::new();
+        b.e_class("Course");
+        b.e_class("Student");
+        b.d_class("credits", DType::Int);
+        b.attr("Course", "credits");
+        b.aggregate("Course", "Student"); // direct for simplicity
+        let mut db = Database::new(b.build().unwrap());
+        let course = db.schema().class_by_name("Course").unwrap();
+        let student = db.schema().class_by_name("Student").unwrap();
+        let enrolls = db.schema().assocs().iter().find(|a| a.name == "Student").unwrap().id;
+        let c1 = db.new_object(course).unwrap();
+        let c2 = db.new_object(course).unwrap();
+        db.set_attr(c1, "credits", Value::Int(3)).unwrap();
+        db.set_attr(c2, "credits", Value::Int(4)).unwrap();
+        let students: Vec<_> = (0..5).map(|_| db.new_object(student).unwrap()).collect();
+        // c1 gets 3 students, c2 gets 2.
+        let mut int = Intension::new(vec![
+            SlotDef::base("Course", course),
+            SlotDef::base("Student", student),
+        ]);
+        int.add_edge(0, 1);
+        let mut sd = Subdatabase::new("ctx", int);
+        for (i, &s) in students.iter().enumerate() {
+            let c = if i < 3 { c1 } else { c2 };
+            db.associate(enrolls, c, s).unwrap();
+            sd.insert(ExtPattern::new(vec![Some(c), Some(s)]));
+        }
+        (db, sd)
+    }
+
+    fn conds(src: &str) -> Vec<WhereCond> {
+        // Parse through a dummy query.
+        let q = Parser::parse_query(&format!("context A * B where {src}")).unwrap();
+        q.where_
+    }
+
+    #[test]
+    fn count_by_group() {
+        let (db, mut sd) = setup();
+        apply_where(&mut sd, &conds("count(Student by Course) > 2"), &db).unwrap();
+        // Only c1's group (3 students) passes.
+        assert_eq!(sd.len(), 3);
+    }
+
+    #[test]
+    fn count_global() {
+        let (db, mut sd) = setup();
+        let mut sd2 = sd.clone();
+        apply_where(&mut sd, &conds("count(Student) = 5"), &db).unwrap();
+        assert_eq!(sd.len(), 5);
+        apply_where(&mut sd2, &conds("count(Student) > 5"), &db).unwrap();
+        assert_eq!(sd2.len(), 0);
+    }
+
+    #[test]
+    fn attr_literal_comparison() {
+        let (db, mut sd) = setup();
+        apply_where(&mut sd, &conds("Course.credits >= 4"), &db).unwrap();
+        assert_eq!(sd.len(), 2); // c2's two students
+    }
+
+    #[test]
+    fn sum_and_avg() {
+        let (db, mut sd) = setup();
+        let mut sd2 = sd.clone();
+        // Each group has one course; sum(credits by Course) is that course's
+        // credits.
+        apply_where(&mut sd, &conds("sum(Course.credits by Course) >= 4"), &db).unwrap();
+        assert_eq!(sd.len(), 2);
+        apply_where(&mut sd2, &conds("avg(Course.credits) > 3.0"), &db).unwrap();
+        assert_eq!(sd2.len(), 5); // global avg = 3.5
+    }
+
+    #[test]
+    fn min_max() {
+        let (db, mut sd) = setup();
+        let mut sd2 = sd.clone();
+        apply_where(&mut sd, &conds("min(Course.credits) = 3"), &db).unwrap();
+        assert_eq!(sd.len(), 5);
+        apply_where(&mut sd2, &conds("max(Course.credits by Course) < 4"), &db).unwrap();
+        assert_eq!(sd2.len(), 3);
+    }
+
+    #[test]
+    fn unknown_slot_errors() {
+        let (db, mut sd) = setup();
+        assert!(apply_where(&mut sd, &conds("Teacher.x = 1"), &db).is_err());
+    }
+
+    #[test]
+    fn find_slot_qualified() {
+        let course = ClassId(0);
+        let mut int = Intension::new(vec![SlotDef::base("Course", course)]);
+        int.slots[0].source =
+            SlotSource::Derived { subdb: "Suggest_offer".into(), slot: "Course".into() };
+        assert!(find_slot(&int, &ClassRef::qualified("Suggest_offer", "Course")).is_ok());
+        assert!(find_slot(&int, &ClassRef::qualified("Other", "Course")).is_err());
+        assert!(find_slot(&int, &ClassRef::base("Course")).is_ok());
+    }
+}

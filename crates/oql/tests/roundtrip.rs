@@ -1,0 +1,178 @@
+//! Property test: the pretty-printer and parser are inverses over
+//! generated ASTs (`parse(print(q)) == q`).
+
+use dood_oql::ast::*;
+use dood_oql::parser::Parser;
+use dood_oql::printer::print_query;
+use proptest::prelude::*;
+
+const KEYWORDS: &[&str] = &[
+    "if", "then", "context", "where", "select", "and", "or", "not", "by",
+];
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Z][a-zA-Z0-9]{0,5}"
+        .prop_filter("not a keyword", |s| {
+            !KEYWORDS.contains(&s.to_ascii_lowercase().as_str())
+        })
+}
+
+fn attr_name() -> impl Strategy<Value = String> {
+    // Lowercase attributes, optionally with the paper's `#`.
+    "[a-z][a-z0-9]{0,4}#?".prop_filter("not a keyword", |s| {
+        !KEYWORDS.contains(&s.trim_end_matches('#').to_ascii_lowercase().as_str())
+    })
+}
+
+fn classref() -> impl Strategy<Value = ClassRef> {
+    (proptest::option::of(ident()), ident())
+        .prop_map(|(subdb, name)| ClassRef { subdb, name })
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Literal::Int),
+        // Reals with a fractional part so they don't print as integers.
+        (-1000i64..1000).prop_map(|n| Literal::Real(n as f64 + 0.5)),
+        "[a-z '!#]{0,8}".prop_map(Literal::Str),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Neq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn pred() -> impl Strategy<Value = Pred> {
+    let leaf = (attr_name(), cmp_op(), literal())
+        .prop_map(|(attr, op, value)| Pred::Cmp { attr, op, value });
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Pred::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|p| Pred::Not(Box::new(p))),
+        ]
+    })
+}
+
+fn item() -> impl Strategy<Value = Item> {
+    let class = (classref(), proptest::option::of(pred()))
+        .prop_map(|(class, cond)| Item::Class { class, cond });
+    class.prop_recursive(2, 8, 3, |inner| {
+        (
+            inner.clone(),
+            proptest::collection::vec((pat_op(), inner), 0..3),
+        )
+            .prop_map(|(first, rest)| Item::Group(Seq { first: Box::new(first), rest }))
+    })
+}
+
+fn pat_op() -> impl Strategy<Value = PatOp> {
+    prop_oneof![Just(PatOp::Assoc), Just(PatOp::NonAssoc)]
+}
+
+fn seq() -> impl Strategy<Value = Seq> {
+    (item(), proptest::collection::vec((pat_op(), item()), 0..4))
+        .prop_map(|(first, rest)| Seq { first: Box::new(first), rest })
+}
+
+fn context() -> impl Strategy<Value = ContextExpr> {
+    (
+        seq(),
+        proptest::option::of(proptest::option::of(1u32..9)),
+    )
+        .prop_map(|(seq, closure)| ContextExpr {
+            seq,
+            closure: closure.map(|iterations| ClosureSpec { iterations }),
+        })
+}
+
+fn where_cond() -> impl Strategy<Value = WhereCond> {
+    prop_oneof![
+        (
+            prop_oneof![
+                Just(AggFunc::Count),
+                Just(AggFunc::Sum),
+                Just(AggFunc::Avg),
+                Just(AggFunc::Min),
+                Just(AggFunc::Max),
+            ],
+            classref(),
+            proptest::option::of(attr_name()),
+            proptest::option::of(classref()),
+            cmp_op(),
+            literal(),
+        )
+            .prop_map(|(func, target, attr, by, op, value)| {
+                // SUM/AVG/MIN/MAX require an attribute (parser rule).
+                let attr = if func == AggFunc::Count {
+                    attr
+                } else {
+                    Some(attr.unwrap_or_else(|| "v".to_string()))
+                };
+                WhereCond::Agg { func, target, attr, by, op, value }
+            }),
+        (
+            classref(),
+            attr_name(),
+            cmp_op(),
+            prop_oneof![
+                (classref(), attr_name()).prop_map(|(c, a)| CmpRhs::Attr(c, a)),
+                literal().prop_map(CmpRhs::Lit),
+            ],
+        )
+            .prop_map(|(c, a, op, right)| WhereCond::Cmp { left: (c, a), op, right }),
+    ]
+}
+
+fn select_item() -> impl Strategy<Value = SelectItem> {
+    prop_oneof![
+        attr_name().prop_map(SelectItem::Attr),
+        ident().prop_map(SelectItem::Attr), // bare class names normalize to Attr
+        (classref(), proptest::collection::vec(attr_name(), 1..3))
+            .prop_map(|(c, attrs)| SelectItem::ClassAttrs(c, attrs)),
+    ]
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        context(),
+        proptest::collection::vec(where_cond(), 0..3),
+        proptest::collection::vec(select_item(), 0..3),
+        proptest::collection::vec(ident(), 0..2),
+    )
+        .prop_map(|(context, where_, select, ops)| Query { context, where_, select, ops })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn printed_queries_reparse_identically(q in query()) {
+        let printed = print_query(&q);
+        let parsed = Parser::parse_query(&printed)
+            .map_err(|e| TestCaseError::fail(format!("re-parse of `{printed}` failed: {e}")))?;
+        prop_assert_eq!(parsed, q, "round-trip mismatch for `{}`", printed);
+    }
+
+    /// The lexer never panics on arbitrary input (it may error).
+    #[test]
+    fn lexer_total(src in "\\PC{0,60}") {
+        let _ = dood_oql::lexer::lex(&src);
+    }
+
+    /// The parser never panics on arbitrary token soup.
+    #[test]
+    fn parser_total(src in "[A-Za-z0-9_#*!{}\\[\\]().,:^<>= ']{0,60}") {
+        let _ = Parser::parse_query(&src);
+        let _ = Parser::parse_context_expr(&src);
+    }
+}

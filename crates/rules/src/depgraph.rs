@@ -1,0 +1,186 @@
+//! The rule dependency graph over derived subdatabases.
+//!
+//! Subdatabase `S` depends on `T` when some rule deriving `S` reads a class
+//! of `T`. Inference chains must be acyclic: recursion is expressed through
+//! the closure construct (`^*`, paper §5.2), not through cyclic rule sets.
+
+use crate::ast::Rule;
+use crate::error::RuleError;
+use dood_core::fxhash::{FxHashMap, FxHashSet};
+
+/// The dependency structure of a rule set.
+#[derive(Debug, Default, Clone)]
+pub struct DepGraph {
+    /// Subdatabase name → indices of rules deriving it.
+    pub derives: FxHashMap<String, Vec<usize>>,
+    /// Subdatabase name → subdatabases it depends on.
+    pub deps: FxHashMap<String, Vec<String>>,
+}
+
+impl DepGraph {
+    /// Build the graph from a rule set.
+    pub fn build(rules: &[Rule]) -> Self {
+        let mut derives: FxHashMap<String, Vec<usize>> = FxHashMap::default();
+        let mut deps: FxHashMap<String, Vec<String>> = FxHashMap::default();
+        for (i, r) in rules.iter().enumerate() {
+            derives.entry(r.target_subdb.clone()).or_default().push(i);
+            let e = deps.entry(r.target_subdb.clone()).or_default();
+            for read in r.reads() {
+                if !e.contains(&read) {
+                    e.push(read);
+                }
+            }
+        }
+        for v in deps.values_mut() {
+            v.sort_unstable();
+        }
+        DepGraph { derives, deps }
+    }
+
+    /// Rules deriving a subdatabase.
+    pub fn rules_for(&self, subdb: &str) -> &[usize] {
+        self.derives.get(subdb).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Whether any rule derives the subdatabase.
+    pub fn is_derived(&self, subdb: &str) -> bool {
+        self.derives.contains_key(subdb)
+    }
+
+    /// Direct dependencies of a derived subdatabase.
+    pub fn deps_of(&self, subdb: &str) -> &[String] {
+        self.deps.get(subdb).map_or(&[], |v| v.as_slice())
+    }
+
+    /// All derived subdatabases in topological (dependency-first) order.
+    /// Errors on cycles.
+    pub fn topo_order(&self) -> Result<Vec<String>, RuleError> {
+        let mut order = Vec::new();
+        let mut state: FxHashMap<&str, u8> = FxHashMap::default(); // 1 grey, 2 black
+        let mut names: Vec<&String> = self.derives.keys().collect();
+        names.sort_unstable();
+        for name in names {
+            self.visit(name, &mut state, &mut order, &mut Vec::new())?;
+        }
+        Ok(order)
+    }
+
+    fn visit<'a>(
+        &'a self,
+        name: &'a str,
+        state: &mut FxHashMap<&'a str, u8>,
+        order: &mut Vec<String>,
+        stack: &mut Vec<String>,
+    ) -> Result<(), RuleError> {
+        match state.get(name) {
+            Some(2) => return Ok(()),
+            Some(1) => {
+                let mut cycle = stack.clone();
+                cycle.push(name.to_string());
+                return Err(RuleError::CyclicRules(cycle));
+            }
+            _ => {}
+        }
+        state.insert(name, 1);
+        stack.push(name.to_string());
+        if let Some(deps) = self.deps.get(name) {
+            for d in deps {
+                // Depending on a non-derived (registered-only) subdatabase is
+                // fine; it is a leaf.
+                if self.derives.contains_key(d.as_str()) {
+                    self.visit(d, state, order, stack)?;
+                }
+            }
+        }
+        stack.pop();
+        state.insert(name, 2);
+        order.push(name.to_string());
+        Ok(())
+    }
+
+    /// The set of derived subdatabases that (transitively) depend on any
+    /// member of `dirty` — the invalidation frontier for forward chaining.
+    pub fn affected_by(&self, dirty: &FxHashSet<String>) -> FxHashSet<String> {
+        let mut affected: FxHashSet<String> = FxHashSet::default();
+        // Fixpoint; graphs are small (rule sets), so simple iteration.
+        loop {
+            let mut changed = false;
+            for (subdb, deps) in &self.deps {
+                if affected.contains(subdb) {
+                    continue;
+                }
+                if deps.iter().any(|d| dirty.contains(d) || affected.contains(d)) {
+                    affected.insert(subdb.clone());
+                    changed = true;
+                }
+            }
+            if !changed {
+                return affected;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+
+    fn rules(defs: &[(&str, &str)]) -> Vec<Rule> {
+        defs.iter().map(|(n, s)| parse_rule(n, s).unwrap()).collect()
+    }
+
+    #[test]
+    fn chain_topo_order() {
+        // DB → REa → REb → REc (paper §6's Ra..Rd chain shape).
+        let rs = rules(&[
+            ("Ra", "if context A * B then REa (A)"),
+            ("Rb", "if context REa:A * C then REb (A)"),
+            ("Rc", "if context REb:A * D then REc (A)"),
+        ]);
+        let g = DepGraph::build(&rs);
+        let order = g.topo_order().unwrap();
+        assert_eq!(order, vec!["REa", "REb", "REc"]);
+        assert!(g.is_derived("REb"));
+        assert!(!g.is_derived("A"));
+        assert_eq!(g.deps_of("REb"), &["REa".to_string()]);
+    }
+
+    #[test]
+    fn union_rules_share_target() {
+        let rs = rules(&[
+            ("R4", "if context A * B then May_teach (A)"),
+            ("R5", "if context A * C then May_teach (A)"),
+        ]);
+        let g = DepGraph::build(&rs);
+        assert_eq!(g.rules_for("May_teach").len(), 2);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let rs = rules(&[
+            ("R1", "if context Y:B * A then X (A)"),
+            ("R2", "if context X:A * B then Y (B)"),
+        ]);
+        let g = DepGraph::build(&rs);
+        assert!(matches!(g.topo_order(), Err(RuleError::CyclicRules(_))));
+    }
+
+    #[test]
+    fn affected_propagates_transitively() {
+        let rs = rules(&[
+            ("Ra", "if context A * B then REa (A)"),
+            ("Rb", "if context REa:A * C then REb (A)"),
+            ("Rc", "if context REb:A * D then REc (A)"),
+            ("Rz", "if context E * F then REz (E)"),
+        ]);
+        let g = DepGraph::build(&rs);
+        let mut dirty = FxHashSet::default();
+        dirty.insert("REa".to_string());
+        let affected = g.affected_by(&dirty);
+        assert!(affected.contains("REb"));
+        assert!(affected.contains("REc"));
+        assert!(!affected.contains("REz"));
+        assert!(!affected.contains("REa")); // dirty itself is not re-listed
+    }
+}

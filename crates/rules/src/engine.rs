@@ -1,0 +1,562 @@
+//! The deductive engine: rule registration, backward and forward chaining,
+//! and the **result-oriented control strategy** of paper §6.
+//!
+//! Two control modes are implemented:
+//!
+//! * [`ControlMode::ResultOriented`] (the paper's contribution): each
+//!   *derived subdatabase* is declared pre-evaluated (materialized and
+//!   forward-maintained on every update) or post-evaluated (computed on
+//!   demand when a query needs it). "The same rule may follow the forward
+//!   or backward chaining strategy depending on whether the derived
+//!   subdatabase is to be pre- or post-evaluated."
+//! * [`ControlMode::RuleOriented`] (the POSTGRES strategy the paper
+//!   critiques): each *rule* is fixed forward or backward. A forward rule
+//!   reading backward-derived data silently consumes a stale or missing
+//!   copy, so downstream pre-computed results can become inconsistent with
+//!   the base data — reproduced by the `Ra…Rd` scenario tests.
+
+use crate::ast::Rule;
+use crate::depgraph::DepGraph;
+use crate::derive::{apply_rule, eval_rule_context, layouts_compatible, project_targets};
+use crate::error::RuleError;
+use crate::maintain::{dirty_closure, incremental_apply, supports_incremental};
+use crate::parser::parse_rule;
+use dood_core::fxhash::{FxHashMap, FxHashSet};
+use dood_core::ids::{ClassId, Oid};
+use dood_core::subdb::{Subdatabase, SubdbRegistry};
+use dood_oql::ast::{ClassRef, Item, Query, SelectItem, Seq, WhereCond};
+use dood_oql::{Oql, QueryOutput};
+use dood_store::Database;
+
+/// Per-result evaluation policy (result-oriented control, paper §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalPolicy {
+    /// Materialized and kept up to date by forward chaining.
+    PreEvaluated,
+    /// Computed on demand by backward chaining; invalidated by updates.
+    PostEvaluated,
+}
+
+/// Per-rule chaining strategy (rule-oriented control, POSTGRES-style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainStrategy {
+    /// Re-run when read data changes; result materialized.
+    Forward,
+    /// Run when the derived data is requested; result not preserved.
+    Backward,
+}
+
+/// Which control strategy governs chaining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlMode {
+    /// The paper's result-oriented strategy.
+    ResultOriented,
+    /// The POSTGRES rule-oriented strategy (for comparison).
+    RuleOriented,
+}
+
+/// The deductive object-oriented database engine: an object store, a rule
+/// set, the registry of derived subdatabases, and OQL.
+pub struct RuleEngine {
+    db: Database,
+    oql: Oql,
+    rules: Vec<Rule>,
+    graph: DepGraph,
+    registry: SubdbRegistry,
+    policies: FxHashMap<String, EvalPolicy>,
+    strategies: FxHashMap<String, ChainStrategy>,
+    mode: ControlMode,
+    /// Event-log watermark up to which forward chaining has run.
+    watermark: u64,
+    /// Per rule: the base classes its IF clause reads (hierarchy-closed).
+    base_reads: Vec<FxHashSet<ClassId>>,
+    /// E11: use scoped delta maintenance where sound.
+    incremental: bool,
+    /// Cached IF-contexts per rule (incremental mode).
+    ctx_cache: FxHashMap<String, dood_core::subdb::Subdatabase>,
+    /// Dirty objects of the update batch being propagated, when any.
+    current_dirty: Option<std::collections::BTreeSet<Oid>>,
+}
+
+impl RuleEngine {
+    /// Wrap a database with an empty rule set (result-oriented mode;
+    /// results default to post-evaluated).
+    pub fn new(db: Database) -> Self {
+        // Events logged before the engine exists (population) are base
+        // facts, not updates to propagate.
+        let watermark = db.seq();
+        RuleEngine {
+            db,
+            oql: Oql::new(),
+            rules: Vec::new(),
+            graph: DepGraph::default(),
+            registry: SubdbRegistry::new(),
+            policies: FxHashMap::default(),
+            strategies: FxHashMap::default(),
+            mode: ControlMode::ResultOriented,
+            watermark,
+            base_reads: Vec::new(),
+            incremental: false,
+            ctx_cache: FxHashMap::default(),
+            current_dirty: None,
+        }
+    }
+
+    /// Enable/disable scoped incremental forward maintenance (E11).
+    /// Incremental mode caches each eligible rule's IF-context and, on
+    /// update, re-derives only the patterns containing touched objects;
+    /// rules with closures, braces or aggregate WHEREs fall back to full
+    /// re-derivation. Off by default (the ablation baseline).
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+        if !on {
+            self.ctx_cache.clear();
+        }
+    }
+
+    /// Read access to the store.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the store. After mutating, call
+    /// [`RuleEngine::propagate`] to run forward chaining.
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The derived-subdatabase registry.
+    pub fn registry(&self) -> &SubdbRegistry {
+        &self.registry
+    }
+
+    /// The OQL engine (to register user-defined operations).
+    pub fn oql_mut(&mut self) -> &mut Oql {
+        &mut self.oql
+    }
+
+    /// The registered rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Switch control mode.
+    pub fn set_mode(&mut self, mode: ControlMode) {
+        self.mode = mode;
+    }
+
+    /// Declare a derived subdatabase pre- or post-evaluated
+    /// (result-oriented mode). Default: post-evaluated.
+    pub fn set_policy(&mut self, subdb: impl Into<String>, policy: EvalPolicy) {
+        self.policies.insert(subdb.into(), policy);
+    }
+
+    /// Fix a rule's chaining strategy (rule-oriented mode). Default:
+    /// backward.
+    pub fn set_strategy(&mut self, rule: impl Into<String>, strategy: ChainStrategy) {
+        self.strategies.insert(rule.into(), strategy);
+    }
+
+    fn policy(&self, subdb: &str) -> EvalPolicy {
+        self.policies.get(subdb).copied().unwrap_or(EvalPolicy::PostEvaluated)
+    }
+
+    /// The chaining strategy governing a subdatabase in rule-oriented mode:
+    /// the strategy of its (first) deriving rule.
+    fn subdb_strategy(&self, subdb: &str) -> ChainStrategy {
+        self.graph
+            .rules_for(subdb)
+            .first()
+            .map(|&i| {
+                self.strategies
+                    .get(&self.rules[i].name)
+                    .copied()
+                    .unwrap_or(ChainStrategy::Backward)
+            })
+            .unwrap_or(ChainStrategy::Backward)
+    }
+
+    /// Register a rule from source text.
+    pub fn add_rule(&mut self, name: &str, src: &str) -> Result<(), RuleError> {
+        if self.rules.iter().any(|r| r.name == name) {
+            return Err(RuleError::DuplicateRule(name.to_string()));
+        }
+        let rule = parse_rule(name, src)?;
+        let reads = self.rule_base_reads(&rule);
+        self.rules.push(rule);
+        self.base_reads.push(reads);
+        self.graph = DepGraph::build(&self.rules);
+        // Reject cyclic rule sets eagerly.
+        self.graph.topo_order()?;
+        Ok(())
+    }
+
+    /// Base classes a rule's IF clause reads, closed over the
+    /// generalization hierarchy (an update to any perspective of an object
+    /// can affect patterns observed through another perspective).
+    fn rule_base_reads(&self, rule: &Rule) -> FxHashSet<ClassId> {
+        let mut out = FxHashSet::default();
+        fn walk(seq: &Seq, schema: &dood_core::schema::Schema, out: &mut FxHashSet<ClassId>) {
+            let item = |i: &Item, out: &mut FxHashSet<ClassId>| match i {
+                Item::Class { class, .. } if class.subdb.is_none() => {
+                    let name = &class.name;
+                    let id = schema.try_class_by_name(name).or_else(|| {
+                        let (family, lvl) = ClassRef::split_alias(name);
+                        (lvl > 0).then(|| schema.try_class_by_name(family)).flatten()
+                    });
+                    if let Some(id) = id {
+                        out.insert(id);
+                    }
+                }
+                Item::Class { .. } => {}
+                Item::Group(g) => walk(g, schema, out),
+            };
+            item(&seq.first, out);
+            for (_, i) in &seq.rest {
+                item(i, out);
+            }
+        }
+        walk(&rule.context.seq, self.db.schema(), &mut out);
+        // Hierarchy closure: ancestors and descendants.
+        let mut closed = out.clone();
+        for &c in &out {
+            for (anc, _) in self.db.schema().ancestors(c) {
+                closed.insert(anc);
+            }
+            // Descendants via BFS.
+            let mut frontier = vec![c];
+            while let Some(cur) = frontier.pop() {
+                for &sub in self.db.schema().direct_subs(cur) {
+                    if closed.insert(sub) {
+                        frontier.push(sub);
+                    }
+                }
+            }
+        }
+        closed
+    }
+
+    // ------------------------------------------------------------------
+    // Backward chaining
+    // ------------------------------------------------------------------
+
+    /// Whether a derived subdatabase must be (re)computed before use.
+    fn needs_derivation(&self, name: &str) -> bool {
+        match self.mode {
+            ControlMode::ResultOriented => match self.policy(name) {
+                EvalPolicy::PreEvaluated => self.registry.subdb(name).is_none(),
+                EvalPolicy::PostEvaluated => !self.registry.is_fresh(name, self.db.seq()),
+            },
+            ControlMode::RuleOriented => match self.subdb_strategy(name) {
+                ChainStrategy::Forward => self.registry.subdb(name).is_none(),
+                ChainStrategy::Backward => !self.registry.is_fresh(name, self.db.seq()),
+            },
+        }
+    }
+
+    /// Ensure `name` (and, recursively, its sources) is derived and fresh
+    /// per the governing policy — the backward chaining entry point
+    /// ("in order to derive May_teach, the subdatabase Suggest_offer …
+    /// must be derived; this causes rule R2 … to be triggered").
+    pub fn derive(&mut self, name: &str) -> Result<(), RuleError> {
+        if !self.graph.is_derived(name) {
+            if self.registry.subdb(name).is_some() {
+                return Ok(());
+            }
+            return Err(RuleError::UnderivableSubdb(name.to_string()));
+        }
+        if !self.needs_derivation(name) {
+            return Ok(());
+        }
+        for dep in self.graph.deps_of(name).to_vec() {
+            if self.graph.is_derived(&dep) {
+                self.derive(&dep)?;
+            } else if self.registry.subdb(&dep).is_none() {
+                return Err(RuleError::UnderivableSubdb(dep));
+            }
+        }
+        self.run_rules_for(name)
+    }
+
+    /// Apply every rule deriving `name` (union semantics, R4/R5) against
+    /// the current registry state and register the result.
+    fn run_rules_for(&mut self, name: &str) -> Result<(), RuleError> {
+        let idxs = self.graph.rules_for(name).to_vec();
+        debug_assert!(!idxs.is_empty());
+        let mut acc: Option<Subdatabase> = None;
+        for i in idxs {
+            let rule = self.rules[i].clone();
+            let sd = self.apply_one(&rule)?;
+            acc = Some(match acc {
+                None => sd,
+                Some(mut prev) => {
+                    if !layouts_compatible(&prev, &sd) {
+                        return Err(RuleError::TargetLayoutMismatch {
+                            subdb: name.to_string(),
+                            rule: rule.name.clone(),
+                        });
+                    }
+                    prev.union_from(&sd);
+                    prev
+                }
+            });
+        }
+        let sd = acc.expect("at least one rule ran");
+        self.registry.put(sd, self.db.seq());
+        Ok(())
+    }
+
+    /// Apply one rule, via the delta path when enabled and sound, caching
+    /// the IF-context for the next delta.
+    fn apply_one(&mut self, rule: &Rule) -> Result<Subdatabase, RuleError> {
+        if !self.incremental {
+            return apply_rule(rule, &self.db, &self.registry);
+        }
+        if supports_incremental(rule) {
+            if let (Some(old_ctx), Some(dirty)) =
+                (self.ctx_cache.get(&rule.name), self.current_dirty.as_ref())
+            {
+                let (target, ctx) =
+                    incremental_apply(rule, &self.db, &self.registry, old_ctx, dirty)?;
+                self.ctx_cache.insert(rule.name.clone(), ctx);
+                return Ok(target);
+            }
+        }
+        let ctx = eval_rule_context(rule, &self.db, &self.registry)?;
+        let target = project_targets(rule, &ctx, &self.db)?;
+        self.ctx_cache.insert(rule.name.clone(), ctx);
+        Ok(target)
+    }
+
+    // ------------------------------------------------------------------
+    // Forward chaining
+    // ------------------------------------------------------------------
+
+    /// Consume new update events and run forward chaining per the current
+    /// control mode. Returns the names of re-derived subdatabases.
+    pub fn propagate(&mut self) -> Result<Vec<String>, RuleError> {
+        let events = self.db.events().since(self.watermark).to_vec();
+        self.watermark = self.db.seq();
+        if events.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Classes touched by the batch.
+        let mut touched: FxHashSet<ClassId> = FxHashSet::default();
+        for e in &events {
+            for c in e.touched_classes(self.db.schema()) {
+                touched.insert(c);
+            }
+        }
+        // Objects touched by the batch (for delta maintenance).
+        if self.incremental {
+            use dood_store::UpdateEvent as E;
+            let oids = events.iter().flat_map(|e| match e {
+                E::ObjectCreated { oid, .. } | E::ObjectDeleted { oid, .. } => vec![*oid],
+                E::Associated { from, to, .. } | E::Dissociated { from, to, .. } => {
+                    vec![*from, *to]
+                }
+                E::AttrSet { oid, .. } => vec![*oid],
+            });
+            self.current_dirty = Some(dirty_closure(&self.db, oids));
+        }
+        // Dirty subdatabases: derived by a rule reading a touched class.
+        let mut dirty: FxHashSet<String> = FxHashSet::default();
+        for (i, rule) in self.rules.iter().enumerate() {
+            if !self.base_reads[i].is_disjoint(&touched) {
+                dirty.insert(rule.target_subdb.clone());
+            }
+        }
+        let affected: FxHashSet<String> = {
+            let mut a = self.graph.affected_by(&dirty);
+            a.extend(dirty);
+            a
+        };
+        let order = self.graph.topo_order()?;
+        let mut rederived = Vec::new();
+        for name in order {
+            if !affected.contains(&name) {
+                continue;
+            }
+            match self.mode {
+                ControlMode::ResultOriented => match self.policy(&name) {
+                    EvalPolicy::PreEvaluated => {
+                        // Forward-maintain: sources are ensured fresh first
+                        // (post-evaluated sources are derived on the fly —
+                        // the rule runs backward for them, forward for us).
+                        self.derive_forced(&name)?;
+                        rederived.push(name);
+                    }
+                    EvalPolicy::PostEvaluated => {
+                        // Invalidate; the next query re-derives.
+                        self.registry.remove(&name);
+                    }
+                },
+                ControlMode::RuleOriented => match self.subdb_strategy(&name) {
+                    ChainStrategy::Forward => {
+                        // POSTGRES restriction: a forward rule reads its
+                        // sources *as materialized right now*. If a source is
+                        // backward-derived (absent), the rule cannot run and
+                        // the target silently stays stale.
+                        let sources_present = self
+                            .graph
+                            .deps_of(&name)
+                            .iter()
+                            .all(|d| self.registry.subdb(d).is_some());
+                        if sources_present {
+                            self.run_rules_for(&name)?;
+                            rederived.push(name);
+                        }
+                    }
+                    ChainStrategy::Backward => {
+                        // Backward results are not preserved across updates.
+                        self.registry.remove(&name);
+                    }
+                },
+            }
+        }
+        self.current_dirty = None;
+        Ok(rederived)
+    }
+
+    /// Recompute `name` after ensuring its sources are fresh (used by
+    /// forward maintenance).
+    fn derive_forced(&mut self, name: &str) -> Result<(), RuleError> {
+        for dep in self.graph.deps_of(name).to_vec() {
+            if self.graph.is_derived(&dep) {
+                self.derive(&dep)?;
+            }
+        }
+        self.run_rules_for(name)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Run an OQL query, backward-chaining any derived subdatabases it
+    /// references (paper §4.3 / Query 4.1).
+    pub fn query(&mut self, src: &str) -> Result<QueryOutput, RuleError> {
+        let q = dood_oql::Parser::parse_query(src)?;
+        for subdb in referenced_subdbs(&q) {
+            self.derive(&subdb)?;
+        }
+        Ok(self.oql.run(&self.db, &self.registry, &q)?)
+    }
+
+    /// Materialize and return a derived subdatabase (backward chaining).
+    pub fn subdb(&mut self, name: &str) -> Result<&Subdatabase, RuleError> {
+        self.derive(name)?;
+        Ok(self.registry.subdb(name).expect("derive registered it"))
+    }
+
+    /// Recompute `name` and all its sources from scratch in a scratch
+    /// registry and compare with the currently registered copy — the
+    /// consistency oracle used to demonstrate the §6 staleness scenario.
+    pub fn is_consistent(&self, name: &str) -> Result<bool, RuleError> {
+        let Some(current) = self.registry.subdb(name) else {
+            // Absent ≠ inconsistent: it will be derived on demand.
+            return Ok(true);
+        };
+        let fresh = self.derive_fresh(name)?;
+        Ok(fresh.to_vec() == current.to_vec())
+    }
+
+    /// Compute `name` from scratch (ignoring all cached results).
+    pub fn derive_fresh(&self, name: &str) -> Result<Subdatabase, RuleError> {
+        let mut scratch = SubdbRegistry::new();
+        // Seed with registered-but-not-derived (external) subdatabases.
+        for n in self.registry.names() {
+            if !self.graph.is_derived(n) {
+                let e = self.registry.get(n).expect("listed");
+                scratch.put(e.subdb.clone(), e.derived_at);
+            }
+        }
+        self.derive_into(name, &mut scratch)?;
+        Ok(scratch.subdb(name).expect("derived").clone())
+    }
+
+    fn derive_into(&self, name: &str, scratch: &mut SubdbRegistry) -> Result<(), RuleError> {
+        if scratch.subdb(name).is_some() {
+            return Ok(());
+        }
+        if !self.graph.is_derived(name) {
+            return Err(RuleError::UnderivableSubdb(name.to_string()));
+        }
+        for dep in self.graph.deps_of(name) {
+            if self.graph.is_derived(dep) {
+                self.derive_into(dep, scratch)?;
+            } else if scratch.subdb(dep).is_none() {
+                return Err(RuleError::UnderivableSubdb(dep.clone()));
+            }
+        }
+        let mut acc: Option<Subdatabase> = None;
+        for &i in self.graph.rules_for(name) {
+            let sd = apply_rule(&self.rules[i], &self.db, scratch)?;
+            acc = Some(match acc {
+                None => sd,
+                Some(mut prev) => {
+                    if !layouts_compatible(&prev, &sd) {
+                        return Err(RuleError::TargetLayoutMismatch {
+                            subdb: name.to_string(),
+                            rule: self.rules[i].name.clone(),
+                        });
+                    }
+                    prev.union_from(&sd);
+                    prev
+                }
+            });
+        }
+        scratch.put(acc.expect("at least one rule"), self.db.seq());
+        Ok(())
+    }
+}
+
+/// The derived subdatabases a query references (context, WHERE, SELECT).
+pub fn referenced_subdbs(q: &Query) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk(seq: &Seq, out: &mut Vec<String>) {
+        let item = |i: &Item, out: &mut Vec<String>| match i {
+            Item::Class { class, .. } => {
+                if let Some(s) = &class.subdb {
+                    out.push(s.clone());
+                }
+            }
+            Item::Group(g) => walk(g, out),
+        };
+        item(&seq.first, out);
+        for (_, i) in &seq.rest {
+            item(i, out);
+        }
+    }
+    walk(&q.context.seq, &mut out);
+    let push_ref = |c: &ClassRef, out: &mut Vec<String>| {
+        if let Some(s) = &c.subdb {
+            out.push(s.clone());
+        }
+    };
+    for w in &q.where_ {
+        match w {
+            WhereCond::Agg { target, by, .. } => {
+                push_ref(target, &mut out);
+                if let Some(b) = by {
+                    push_ref(b, &mut out);
+                }
+            }
+            WhereCond::Cmp { left, right, .. } => {
+                push_ref(&left.0, &mut out);
+                if let dood_oql::ast::CmpRhs::Attr(c, _) = right {
+                    push_ref(c, &mut out);
+                }
+            }
+        }
+    }
+    for s in &q.select {
+        match s {
+            SelectItem::ClassAttrs(c, _) | SelectItem::Class(c) => push_ref(c, &mut out),
+            SelectItem::Attr(_) => {}
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}

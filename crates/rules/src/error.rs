@@ -1,0 +1,69 @@
+//! Rule-engine errors.
+
+use dood_oql::error::{ParseError, QueryError};
+use std::fmt;
+
+/// Errors raised by rule definition, derivation, or chaining.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum RuleError {
+    /// Rule or query syntax error.
+    Parse(ParseError),
+    /// Resolution/evaluation error in a rule body or query.
+    Query(QueryError),
+    /// A duplicate rule name.
+    DuplicateRule(String),
+    /// A THEN-clause target does not name a class of the IF clause
+    /// ("these classes should be a subset of the classes referenced in the
+    /// association pattern expression of the If clause").
+    UnknownTarget { rule: String, target: String },
+    /// Two rules deriving the same subdatabase disagree on its intension
+    /// (slot names must match for the union semantics of R4/R5).
+    TargetLayoutMismatch { subdb: String, rule: String },
+    /// The rule dependency graph is cyclic; recursion must be expressed via
+    /// the closure construct (`^*`) instead (paper §5.2).
+    CyclicRules(Vec<String>),
+    /// Reference to a subdatabase that no rule derives and that is not
+    /// registered.
+    UnderivableSubdb(String),
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::Parse(e) => write!(f, "{e}"),
+            RuleError::Query(e) => write!(f, "{e}"),
+            RuleError::DuplicateRule(n) => write!(f, "duplicate rule name `{n}`"),
+            RuleError::UnknownTarget { rule, target } => write!(
+                f,
+                "rule `{rule}`: target `{target}` is not a class of the IF clause"
+            ),
+            RuleError::TargetLayoutMismatch { subdb, rule } => write!(
+                f,
+                "rule `{rule}` derives `{subdb}` with a different class list than an earlier rule"
+            ),
+            RuleError::CyclicRules(names) => write!(
+                f,
+                "cyclic rule dependencies through {}; use the ^* closure construct instead",
+                names.join(" -> ")
+            ),
+            RuleError::UnderivableSubdb(s) => {
+                write!(f, "no rule derives subdatabase `{s}` and it is not registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+impl From<ParseError> for RuleError {
+    fn from(e: ParseError) -> Self {
+        RuleError::Parse(e)
+    }
+}
+
+impl From<QueryError> for RuleError {
+    fn from(e: QueryError) -> Self {
+        RuleError::Query(e)
+    }
+}

@@ -1,0 +1,221 @@
+//! Incremental (delta) forward maintenance — DESIGN.md ablation E11.
+//!
+//! The paper's forward chaining "runs the relevant deductive rules to
+//! maintain the consistency between the derived subdatabase and the
+//! original database" but does not prescribe *how*. The baseline
+//! implementation re-derives affected results in full; this module adds a
+//! scoped alternative for rules whose semantics localize:
+//!
+//! Given the set of *dirty* objects touched by an update batch (closed over
+//! perspective/identity links), every context pattern either
+//!
+//! 1. contains no dirty object — it cannot have changed, and is kept from
+//!    the cached context; or
+//! 2. contains a dirty object in some slot — it is re-derived by evaluating
+//!    the context with that slot restricted to the dirty set.
+//!
+//! This is sound exactly when pattern membership is per-pattern-local:
+//! single-span (no braces) contexts without closure and without aggregate
+//! WHERE conditions. [`supports_incremental`] gates on that; everything
+//! else falls back to full re-derivation.
+
+use crate::ast::Rule;
+use crate::derive::project_targets;
+use crate::error::RuleError;
+use dood_core::fxhash::FxHashSet;
+use dood_core::ids::Oid;
+use dood_core::subdb::{Subdatabase, SubdbRegistry};
+use dood_oql::ast::{Item, Seq, WhereCond};
+use dood_oql::eval::Evaluator;
+use dood_oql::resolve::resolve_context;
+use dood_oql::wherec::apply_where;
+use dood_store::Database;
+use std::collections::BTreeSet;
+
+/// Whether scoped incremental maintenance is sound for this rule: a single
+/// linear span (no braces), no closure, and only per-pattern (non-aggregate)
+/// WHERE conditions.
+pub fn supports_incremental(rule: &Rule) -> bool {
+    fn no_groups(seq: &Seq) -> bool {
+        let flat = |i: &Item| matches!(i, Item::Class { .. });
+        flat(&seq.first) && seq.rest.iter().all(|(_, i)| flat(i))
+    }
+    rule.context.closure.is_none()
+        && no_groups(&rule.context.seq)
+        && rule.where_.iter().all(|w| matches!(w, WhereCond::Cmp { .. }))
+}
+
+/// Expand an update batch's touched objects over the identity links: a
+/// pattern slot may hold a different perspective of the touched object.
+pub fn dirty_closure(db: &Database, touched: impl IntoIterator<Item = Oid>) -> BTreeSet<Oid> {
+    let mut out = BTreeSet::new();
+    for oid in touched {
+        out.insert(oid); // deleted objects have no closure but stay dirty
+        for p in db.perspective_closure(oid) {
+            out.insert(p);
+        }
+    }
+    out
+}
+
+/// Incrementally refresh a rule's *context* subdatabase. `old_ctx` is the
+/// cached context from the previous derivation; `dirty` is the
+/// perspective-closed set of touched objects. Returns the fresh context.
+pub fn incremental_context(
+    rule: &Rule,
+    db: &Database,
+    registry: &SubdbRegistry,
+    old_ctx: &Subdatabase,
+    dirty: &BTreeSet<Oid>,
+) -> Result<Subdatabase, RuleError> {
+    debug_assert!(supports_incremental(rule), "caller must gate on supports_incremental");
+    let resolved =
+        resolve_context(&rule.context, db.schema(), registry).map_err(RuleError::Query)?;
+    let width = resolved.slots.len();
+    let dirty_hash: FxHashSet<Oid> = dirty.iter().copied().collect();
+
+    // 1. Patterns untouched by the update survive as-is.
+    let mut fresh = Subdatabase::new(old_ctx.name.clone(), old_ctx.intension.clone());
+    for p in old_ctx.patterns() {
+        let clean = p
+            .components()
+            .iter()
+            .flatten()
+            .all(|o| !dirty_hash.contains(o));
+        if clean {
+            fresh.insert(p.clone());
+        }
+    }
+
+    // 2. Re-derive every pattern that contains a dirty object in some slot.
+    for slot in 0..width {
+        let ev = Evaluator::new(&resolved, db, registry)
+            .map_err(RuleError::Query)?
+            .restrict_slot(slot, dirty.clone());
+        let mut delta = ev.eval(&old_ctx.name);
+        apply_where(&mut delta, &rule.where_, db).map_err(RuleError::Query)?;
+        for p in delta.patterns() {
+            fresh.insert(p.clone());
+        }
+    }
+    Ok(fresh)
+}
+
+/// Full incremental application: refresh the context, then project per the
+/// THEN clause. Returns `(target, fresh_context)`.
+pub fn incremental_apply(
+    rule: &Rule,
+    db: &Database,
+    registry: &SubdbRegistry,
+    old_ctx: &Subdatabase,
+    dirty: &BTreeSet<Oid>,
+) -> Result<(Subdatabase, Subdatabase), RuleError> {
+    let ctx = incremental_context(rule, db, registry, old_ctx, dirty)?;
+    let target = project_targets(rule, &ctx, db)?;
+    Ok((target, ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::eval_rule_context;
+    use crate::parser::parse_rule;
+    use dood_core::schema::SchemaBuilder;
+    use dood_core::value::DType;
+
+    fn setup() -> (Database, Vec<Oid>, Vec<Oid>) {
+        let mut b = SchemaBuilder::new();
+        b.e_class("A");
+        b.e_class("B");
+        b.d_class("v", DType::Int);
+        b.attr("A", "v");
+        b.aggregate("A", "B");
+        let mut db = Database::new(b.build().unwrap());
+        let a_cls = db.schema().class_by_name("A").unwrap();
+        let b_cls = db.schema().class_by_name("B").unwrap();
+        let link = db.schema().own_link_by_name(a_cls, "B").unwrap();
+        let avec: Vec<Oid> = (0..5).map(|_| db.new_object(a_cls).unwrap()).collect();
+        let bvec: Vec<Oid> = (0..5).map(|_| db.new_object(b_cls).unwrap()).collect();
+        for i in 0..5 {
+            db.associate(link, avec[i], bvec[i]).unwrap();
+        }
+        (db, avec, bvec)
+    }
+
+    #[test]
+    fn gate_rejects_closure_braces_aggregates() {
+        assert!(supports_incremental(
+            &parse_rule("r", "if context A * B then T (A, B)").unwrap()
+        ));
+        assert!(supports_incremental(
+            &parse_rule("r", "if context A * B where A.v > 1 then T (A)").unwrap()
+        ));
+        assert!(!supports_incremental(
+            &parse_rule("r", "if context A ^* then T (A, A_*)").unwrap()
+        ));
+        assert!(!supports_incremental(
+            &parse_rule("r", "if context {A} * B then T (A)").unwrap()
+        ));
+        assert!(!supports_incremental(
+            &parse_rule(
+                "r",
+                "if context A * B where count(B by A) > 1 then T (A)"
+            )
+            .unwrap()
+        ));
+    }
+
+    #[test]
+    fn incremental_matches_full_after_updates() {
+        let (mut db, avec, bvec) = setup();
+        let rule = parse_rule("r", "if context A * B then T (A, B)").unwrap();
+        let reg = SubdbRegistry::new();
+        let old_ctx = eval_rule_context(&rule, &db, &reg).unwrap();
+
+        // Mutate: add a cross link, remove one, create a fresh pair.
+        let a_cls = db.schema().class_by_name("A").unwrap();
+        let b_cls = db.schema().class_by_name("B").unwrap();
+        let link = db.schema().own_link_by_name(a_cls, "B").unwrap();
+        let mark = db.seq();
+        db.associate(link, avec[0], bvec[1]).unwrap();
+        db.dissociate(link, avec[2], bvec[2]).unwrap();
+        let na = db.new_object(a_cls).unwrap();
+        let nb = db.new_object(b_cls).unwrap();
+        db.associate(link, na, nb).unwrap();
+
+        let mut touched = Vec::new();
+        for e in db.events().since(mark) {
+            match e {
+                dood_store::UpdateEvent::Associated { from, to, .. }
+                | dood_store::UpdateEvent::Dissociated { from, to, .. } => {
+                    touched.push(*from);
+                    touched.push(*to);
+                }
+                dood_store::UpdateEvent::ObjectCreated { oid, .. } => touched.push(*oid),
+                _ => {}
+            }
+        }
+        let dirty = dirty_closure(&db, touched);
+        let (inc_target, inc_ctx) =
+            incremental_apply(&rule, &db, &reg, &old_ctx, &dirty).unwrap();
+        let full_ctx = eval_rule_context(&rule, &db, &reg).unwrap();
+        let full_target = crate::derive::apply_rule(&rule, &db, &reg).unwrap();
+        assert_eq!(inc_ctx.to_vec(), full_ctx.to_vec());
+        assert_eq!(inc_target.to_vec(), full_target.to_vec());
+    }
+
+    #[test]
+    fn dirty_closure_includes_perspectives() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("Person");
+        b.e_class("Student");
+        b.generalize("Person", "Student");
+        let mut db = Database::new(b.build().unwrap());
+        let person = db.schema().class_by_name("Person").unwrap();
+        let student = db.schema().class_by_name("Student").unwrap();
+        let p = db.new_object(person).unwrap();
+        let st = db.specialize(p, student).unwrap();
+        let d = dirty_closure(&db, [p]);
+        assert!(d.contains(&p) && d.contains(&st));
+    }
+}

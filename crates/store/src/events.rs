@@ -1,0 +1,116 @@
+//! The update-event log.
+//!
+//! Forward chaining "will be executed whenever the data that is read by the
+//! rule is updated … e.g. by associating, dissociating, inserting objects"
+//! (paper §6). The store appends one event per primitive mutation; the rule
+//! engine consumes the log through per-consumer watermarks.
+
+use dood_core::ids::{AssocId, ClassId, Oid};
+use dood_core::value::Value;
+
+/// One primitive mutation of the extensional database.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum UpdateEvent {
+    /// An object was created in a class.
+    ObjectCreated { class: ClassId, oid: Oid },
+    /// An object was deleted from a class.
+    ObjectDeleted { class: ClassId, oid: Oid },
+    /// Two objects were associated under an association.
+    Associated { assoc: AssocId, from: Oid, to: Oid },
+    /// Two objects were dissociated.
+    Dissociated { assoc: AssocId, from: Oid, to: Oid },
+    /// An attribute value changed.
+    AttrSet { class: ClassId, oid: Oid, attr: AssocId, old: Value, new: Value },
+}
+
+impl UpdateEvent {
+    /// The classes whose extension this event touches (for dependency
+    /// analysis: a rule reading any of these classes may be affected).
+    pub fn touched_classes(&self, schema: &dood_core::schema::Schema) -> Vec<ClassId> {
+        match self {
+            UpdateEvent::ObjectCreated { class, .. }
+            | UpdateEvent::ObjectDeleted { class, .. } => vec![*class],
+            UpdateEvent::Associated { assoc, .. } | UpdateEvent::Dissociated { assoc, .. } => {
+                let d = schema.assoc(*assoc);
+                vec![d.from, d.to]
+            }
+            UpdateEvent::AttrSet { class, .. } => vec![*class],
+        }
+    }
+}
+
+/// An append-only event log with monotone sequence numbers.
+#[derive(Debug, Default, Clone)]
+pub struct EventLog {
+    events: Vec<UpdateEvent>,
+}
+
+impl EventLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event, returning its sequence number (1-based; the
+    /// sequence number equals the log length after the append, so `seq()`
+    /// is the watermark of the latest event).
+    pub fn push(&mut self, e: UpdateEvent) -> u64 {
+        self.events.push(e);
+        self.events.len() as u64
+    }
+
+    /// The current watermark (sequence number of the newest event; 0 when
+    /// empty).
+    pub fn seq(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// Events strictly after watermark `since` (i.e. with sequence numbers
+    /// `since+1 ..= seq()`).
+    pub fn since(&self, since: u64) -> &[UpdateEvent] {
+        &self.events[(since as usize).min(self.events.len())..]
+    }
+
+    /// Total number of events ever logged.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_since() {
+        let mut log = EventLog::new();
+        assert_eq!(log.seq(), 0);
+        let s1 = log.push(UpdateEvent::ObjectCreated { class: ClassId(0), oid: Oid(1) });
+        let s2 = log.push(UpdateEvent::ObjectCreated { class: ClassId(0), oid: Oid(2) });
+        assert_eq!((s1, s2), (1, 2));
+        assert_eq!(log.since(0).len(), 2);
+        assert_eq!(log.since(1).len(), 1);
+        assert_eq!(log.since(2).len(), 0);
+        assert_eq!(log.since(99).len(), 0);
+    }
+
+    #[test]
+    fn touched_classes_for_assoc_events() {
+        use dood_core::schema::SchemaBuilder;
+        let mut b = SchemaBuilder::new();
+        b.e_class("A");
+        b.e_class("B");
+        b.aggregate("A", "B");
+        let s = b.build().unwrap();
+        let assoc = s.assocs()[0].id;
+        let e = UpdateEvent::Associated { assoc, from: Oid(1), to: Oid(2) };
+        let touched = e.touched_classes(&s);
+        assert_eq!(touched.len(), 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Object records and per-class attribute layouts.
+//!
+//! Each object belongs to exactly one class and stores values for the
+//! descriptive attributes declared *directly* on that class; inherited
+//! attributes live on the superclass **perspective object** reachable over
+//! the instance-level generalization (identity) links — "the two instances
+//! are actually two different perspectives of the same real-world object"
+//! (paper §3.2).
+
+use dood_core::fxhash::FxHashMap;
+use dood_core::ids::{AssocId, ClassId};
+use dood_core::schema::Schema;
+use dood_core::value::Value;
+
+/// The stored state of one object: its class and its direct attribute
+/// values (positionally laid out by [`AttrLayouts`]).
+#[derive(Debug, Clone)]
+pub struct ObjRecord {
+    /// The class this object is a direct instance of.
+    pub class: ClassId,
+    /// Direct attribute values, in layout order. `Value::Null` when unset.
+    pub attrs: Box<[Value]>,
+}
+
+/// Precomputed positional layout of each class's direct attributes.
+#[derive(Debug, Clone)]
+pub struct AttrLayouts {
+    /// Per class: the attribute associations in slot order.
+    per_class: Vec<Vec<AssocId>>,
+    /// (class, attr assoc) → slot.
+    slot_of: FxHashMap<(ClassId, AssocId), usize>,
+}
+
+impl AttrLayouts {
+    /// Build layouts for all classes of a schema.
+    pub fn new(schema: &Schema) -> Self {
+        let mut per_class = Vec::with_capacity(schema.class_count());
+        let mut slot_of = FxHashMap::default();
+        for c in schema.classes() {
+            let attrs = schema.own_attrs(c.id);
+            for (i, &a) in attrs.iter().enumerate() {
+                slot_of.insert((c.id, a), i);
+            }
+            per_class.push(attrs);
+        }
+        AttrLayouts { per_class, slot_of }
+    }
+
+    /// The attributes of `class`, in slot order.
+    pub fn attrs_of(&self, class: ClassId) -> &[AssocId] {
+        &self.per_class[class.index()]
+    }
+
+    /// The slot of attribute `attr` on `class`.
+    pub fn slot(&self, class: ClassId, attr: AssocId) -> Option<usize> {
+        self.slot_of.get(&(class, attr)).copied()
+    }
+
+    /// A fresh all-null attribute vector for `class`.
+    pub fn empty_record(&self, class: ClassId) -> Box<[Value]> {
+        vec![Value::Null; self.per_class[class.index()].len()].into_boxed_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dood_core::schema::SchemaBuilder;
+    use dood_core::value::DType;
+
+    #[test]
+    fn layouts_cover_direct_attrs_only() {
+        let mut b = SchemaBuilder::new();
+        b.e_class("Person");
+        b.e_class("Teacher");
+        b.d_class("SS", DType::Str);
+        b.d_class("Degree", DType::Str);
+        b.attr("Person", "SS");
+        b.attr("Teacher", "Degree");
+        b.generalize("Person", "Teacher");
+        let s = b.build().unwrap();
+        let layouts = AttrLayouts::new(&s);
+
+        let person = s.class_by_name("Person").unwrap();
+        let teacher = s.class_by_name("Teacher").unwrap();
+        assert_eq!(layouts.attrs_of(person).len(), 1);
+        assert_eq!(layouts.attrs_of(teacher).len(), 1); // Degree only: SS is inherited
+        let ss = s.own_attr_by_name(person, "SS").unwrap();
+        assert_eq!(layouts.slot(person, ss), Some(0));
+        assert_eq!(layouts.slot(teacher, ss), None);
+        assert_eq!(layouts.empty_record(teacher).len(), 1);
+    }
+}

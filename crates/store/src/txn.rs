@@ -1,0 +1,208 @@
+//! Lightweight transactions: batch mutations with rollback.
+//!
+//! The paper assumes an underlying OO DBMS; rules triggered by updates
+//! (forward chaining, §6) should observe either all or none of a batch.
+//! This is an undo-log transaction over [`Database`] — object deletion is
+//! deliberately not exposed (its cascades are not cheaply undoable).
+
+use crate::database::Database;
+use dood_core::error::StoreError;
+use dood_core::ids::{AssocId, ClassId, Oid};
+use dood_core::value::Value;
+
+#[derive(Debug)]
+enum UndoOp {
+    DeleteObject(Oid),
+    Dissociate { assoc: AssocId, from: Oid, to: Oid },
+    Associate { assoc: AssocId, from: Oid, to: Oid },
+    RestoreAttr { oid: Oid, attr: AssocId, old: Value },
+}
+
+/// An open transaction. Obtain with [`Transaction::begin`]; finish with
+/// [`Transaction::commit`] or [`Transaction::rollback`]. Dropping an
+/// uncommitted transaction rolls it back.
+#[derive(Debug)]
+pub struct Transaction<'a> {
+    db: &'a mut Database,
+    undo: Vec<UndoOp>,
+    done: bool,
+}
+
+impl<'a> Transaction<'a> {
+    /// Begin a transaction over the database.
+    pub fn begin(db: &'a mut Database) -> Self {
+        Transaction { db, undo: Vec::new(), done: false }
+    }
+
+    /// Read access to the underlying database.
+    pub fn db(&self) -> &Database {
+        self.db
+    }
+
+    /// Create an object (undone by deletion).
+    pub fn new_object(&mut self, class: ClassId) -> Result<Oid, StoreError> {
+        let oid = self.db.new_object(class)?;
+        self.undo.push(UndoOp::DeleteObject(oid));
+        Ok(oid)
+    }
+
+    /// Create a subclass perspective (undone by deleting the perspective).
+    pub fn specialize(&mut self, parent: Oid, subclass: ClassId) -> Result<Oid, StoreError> {
+        let oid = self.db.specialize(parent, subclass)?;
+        self.undo.push(UndoOp::DeleteObject(oid));
+        Ok(oid)
+    }
+
+    /// Associate two objects.
+    pub fn associate(&mut self, assoc: AssocId, from: Oid, to: Oid) -> Result<(), StoreError> {
+        let existed = self.db.linked(assoc, from, to);
+        self.db.associate(assoc, from, to)?;
+        if !existed {
+            self.undo.push(UndoOp::Dissociate { assoc, from, to });
+        }
+        Ok(())
+    }
+
+    /// Dissociate two objects.
+    pub fn dissociate(&mut self, assoc: AssocId, from: Oid, to: Oid) -> Result<(), StoreError> {
+        let existed = self.db.linked(assoc, from, to);
+        self.db.dissociate(assoc, from, to)?;
+        if existed {
+            self.undo.push(UndoOp::Associate { assoc, from, to });
+        }
+        Ok(())
+    }
+
+    /// Set an attribute by name.
+    pub fn set_attr(&mut self, oid: Oid, name: &str, value: Value) -> Result<(), StoreError> {
+        let old = self.db.attr(oid, name)?;
+        // Resolve where the write actually lands so the undo targets the
+        // same perspective object.
+        let class = self.db.class_of(oid)?;
+        let resolved = self
+            .db
+            .schema()
+            .resolve_attr(class, name)
+            .map_err(|_| StoreError::NoSuchAttribute { class, attr: name.to_string() })?;
+        let target = self
+            .db
+            .climb(oid, &resolved.up_chain)
+            .ok_or(StoreError::NoSuchObject(oid))?;
+        self.db.set_attr(oid, name, value)?;
+        self.undo.push(UndoOp::RestoreAttr { oid: target, attr: resolved.attr, old });
+        Ok(())
+    }
+
+    /// Commit: keep all mutations.
+    pub fn commit(mut self) {
+        self.done = true;
+        self.undo.clear();
+    }
+
+    /// Roll back: undo all mutations in reverse order.
+    pub fn rollback(mut self) {
+        self.apply_undo();
+    }
+
+    fn apply_undo(&mut self) {
+        self.done = true;
+        while let Some(op) = self.undo.pop() {
+            let r = match op {
+                UndoOp::DeleteObject(oid) => self.db.delete_object(oid),
+                UndoOp::Dissociate { assoc, from, to } => self.db.dissociate(assoc, from, to),
+                UndoOp::Associate { assoc, from, to } => self.db.associate(assoc, from, to),
+                UndoOp::RestoreAttr { oid, attr, old } => self.db.set_attr_direct(oid, attr, old),
+            };
+            debug_assert!(r.is_ok(), "undo must not fail");
+        }
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.apply_undo();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dood_core::schema::SchemaBuilder;
+    use dood_core::value::DType;
+
+    fn db() -> Database {
+        let mut b = SchemaBuilder::new();
+        b.e_class("A");
+        b.e_class("B");
+        b.d_class("V", DType::Int);
+        b.attr("A", "V");
+        b.aggregate("A", "B");
+        Database::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn commit_keeps_changes() {
+        let mut d = db();
+        let a_class = d.schema().class_by_name("A").unwrap();
+        let mut t = Transaction::begin(&mut d);
+        let a = t.new_object(a_class).unwrap();
+        t.set_attr(a, "V", Value::Int(1)).unwrap();
+        t.commit();
+        assert!(d.is_live(a));
+        assert_eq!(d.attr(a, "V").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn rollback_undoes_everything() {
+        let mut d = db();
+        let a_class = d.schema().class_by_name("A").unwrap();
+        let b_class = d.schema().class_by_name("B").unwrap();
+        let assoc = d.schema().assocs().iter().find(|x| x.name == "B").unwrap().id;
+
+        let pre_a = d.new_object(a_class).unwrap();
+        d.set_attr(pre_a, "V", Value::Int(10)).unwrap();
+
+        let mut t = Transaction::begin(&mut d);
+        let a = t.new_object(a_class).unwrap();
+        let b = t.new_object(b_class).unwrap();
+        t.associate(assoc, a, b).unwrap();
+        t.set_attr(pre_a, "V", Value::Int(99)).unwrap();
+        t.rollback();
+
+        assert!(!d.is_live(a));
+        assert!(!d.is_live(b));
+        assert_eq!(d.attr(pre_a, "V").unwrap(), Value::Int(10));
+        assert_eq!(d.link_count(assoc), 0);
+    }
+
+    #[test]
+    fn drop_without_commit_rolls_back() {
+        let mut d = db();
+        let a_class = d.schema().class_by_name("A").unwrap();
+        let a;
+        {
+            let mut t = Transaction::begin(&mut d);
+            a = t.new_object(a_class).unwrap();
+            // dropped here
+        }
+        assert!(!d.is_live(a));
+    }
+
+    #[test]
+    fn rollback_restores_removed_link() {
+        let mut d = db();
+        let a_class = d.schema().class_by_name("A").unwrap();
+        let b_class = d.schema().class_by_name("B").unwrap();
+        let assoc = d.schema().assocs().iter().find(|x| x.name == "B").unwrap().id;
+        let a = d.new_object(a_class).unwrap();
+        let b = d.new_object(b_class).unwrap();
+        d.associate(assoc, a, b).unwrap();
+        let mut t = Transaction::begin(&mut d);
+        t.dissociate(assoc, a, b).unwrap();
+        assert!(!t.db().linked(assoc, a, b));
+        t.rollback();
+        assert!(d.linked(assoc, a, b));
+    }
+}

@@ -1,0 +1,126 @@
+//! A CAD/CAM bill-of-materials domain — one of the application areas the
+//! paper's introduction motivates ("CAD/CAM, office automation, …").
+//!
+//! Parts form an acyclic `Component` hierarchy; the part-explosion query is
+//! the canonical transitive-closure workload (paper §5.2), exercised by the
+//! E2 benchmark against the Datalog baseline.
+
+use dood_core::ids::Oid;
+use dood_core::schema::{Schema, SchemaBuilder};
+use dood_core::value::{DType, Value};
+use dood_store::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build the CAD schema: `Part` with a `Component` self-aggregation, a
+/// `Supplier` with an `Supplies` association, and cost/name attributes.
+pub fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.e_class("Part");
+    b.e_class("Supplier");
+    b.d_class("pname", DType::Str);
+    b.d_class("cost", DType::Real);
+    b.d_class("sname", DType::Str);
+    b.attr("Part", "pname");
+    b.attr("Part", "cost");
+    b.attr_named("Supplier", "sname", "sname");
+    b.aggregate_named("Part", "Part", "Component");
+    b.aggregate_named("Supplier", "Part", "Supplies");
+    b.build().expect("cad schema valid")
+}
+
+/// Shape of a generated bill of materials.
+#[derive(Debug, Clone, Copy)]
+pub struct BomShape {
+    /// Levels below the roots.
+    pub depth: usize,
+    /// Components per non-leaf part.
+    pub fanout: usize,
+    /// Number of root assemblies.
+    pub roots: usize,
+    /// Per-mille probability that a component link reuses an existing part
+    /// of the next level (DAG sharing) instead of a fresh part.
+    pub share_per_mille: u32,
+}
+
+impl BomShape {
+    /// A small tree for tests.
+    pub fn small() -> Self {
+        BomShape { depth: 3, fanout: 2, roots: 2, share_per_mille: 0 }
+    }
+}
+
+/// Build a BOM database. Returns the database and the root part OIDs.
+/// Deterministic in `seed`.
+pub fn build_bom(shape: BomShape, seed: u64) -> (Database, Vec<Oid>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new(schema());
+    let part = db.schema().class_by_name("Part").unwrap();
+    let component = db.schema().own_link_by_name(part, "Component").unwrap();
+
+    let mut roots = Vec::with_capacity(shape.roots);
+    let mut level: Vec<Oid> = Vec::new();
+    for r in 0..shape.roots {
+        let p = db.new_object(part).unwrap();
+        db.set_attr(p, "pname", Value::str(format!("asm-{r}"))).unwrap();
+        db.set_attr(p, "cost", Value::Real(0.0)).unwrap();
+        roots.push(p);
+        level.push(p);
+    }
+    for d in 1..=shape.depth {
+        let mut next: Vec<Oid> = Vec::new();
+        for &parent in &level {
+            for f in 0..shape.fanout {
+                let child = if !next.is_empty()
+                    && rng.random_range(0..1000) < shape.share_per_mille
+                {
+                    next[rng.random_range(0..next.len())]
+                } else {
+                    let c = db.new_object(part).unwrap();
+                    db.set_attr(c, "pname", Value::str(format!("part-{d}-{f}-{}", next.len())))
+                        .unwrap();
+                    db.set_attr(c, "cost", Value::Real(rng.random_range(1..100) as f64))
+                        .unwrap();
+                    next.push(c);
+                    c
+                };
+                db.associate(component, parent, child).unwrap();
+            }
+        }
+        level = next;
+    }
+    (db, roots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_bom_has_expected_counts() {
+        let (db, roots) = build_bom(BomShape::small(), 3);
+        let part = db.schema().class_by_name("Part").unwrap();
+        // 2 roots, each a full binary tree of depth 3: 2 * (2+4+8) = 28
+        // children + 2 roots.
+        assert_eq!(roots.len(), 2);
+        assert_eq!(db.extent_size(part), 30);
+        let component = db.schema().own_link_by_name(part, "Component").unwrap();
+        assert_eq!(db.link_count(component), 28);
+    }
+
+    #[test]
+    fn sharing_reduces_part_count() {
+        let shape = BomShape { depth: 4, fanout: 3, roots: 1, share_per_mille: 500 };
+        let (shared, _) = build_bom(shape, 9);
+        let (tree, _) = build_bom(BomShape { share_per_mille: 0, ..shape }, 9);
+        let part = shared.schema().class_by_name("Part").unwrap();
+        assert!(shared.extent_size(part) < tree.extent_size(part));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = build_bom(BomShape::small(), 5);
+        let (b, _) = build_bom(BomShape::small(), 5);
+        assert_eq!(a.object_count(), b.object_count());
+    }
+}

@@ -1,0 +1,169 @@
+//! A company/org-chart domain used by the chaining and control-strategy
+//! benchmarks (E3/E4): employees report to managers, belong to departments,
+//! and work on projects — a schema whose updates arrive in bursts, which is
+//! exactly the regime where pre- vs post-evaluation trade off.
+
+use dood_core::ids::Oid;
+use dood_core::schema::{Schema, SchemaBuilder};
+use dood_core::value::{DType, Value};
+use dood_store::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build the company schema.
+pub fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.e_class("Employee");
+    b.e_class("Manager");
+    b.e_class("Department");
+    b.e_class("Project");
+    b.d_class("ename", DType::Str);
+    b.d_class("salary", DType::Int);
+    b.d_class("dname", DType::Str);
+    b.d_class("budget", DType::Int);
+    b.attr_named("Employee", "ename", "ename");
+    b.attr("Employee", "salary");
+    b.attr_named("Department", "dname", "dname");
+    b.attr("Project", "budget");
+    b.generalize("Employee", "Manager");
+    b.aggregate_single_named("Employee", "Department", "WorksIn");
+    b.aggregate_named("Employee", "Project", "AssignedTo");
+    b.aggregate_named("Department", "Project", "Sponsors");
+    b.aggregate_single_named("Employee", "Employee", "ReportsTo");
+    b.build().expect("company schema valid")
+}
+
+/// Population parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CompanySize {
+    /// Employee count.
+    pub employees: usize,
+    /// Departments.
+    pub departments: usize,
+    /// Projects.
+    pub projects: usize,
+    /// Fraction (per-mille) of employees who are managers.
+    pub manager_per_mille: u32,
+    /// Projects per employee.
+    pub assignments_per_employee: usize,
+}
+
+impl CompanySize {
+    /// Small, for tests.
+    pub fn small() -> Self {
+        CompanySize {
+            employees: 30,
+            departments: 3,
+            projects: 6,
+            manager_per_mille: 200,
+            assignments_per_employee: 2,
+        }
+    }
+
+    /// Scaled for benchmarks.
+    pub fn scaled(employees: usize) -> Self {
+        CompanySize {
+            employees,
+            departments: (employees / 20).max(1),
+            projects: (employees / 5).max(1),
+            manager_per_mille: 200,
+            assignments_per_employee: 2,
+        }
+    }
+}
+
+/// Handles to the populated objects.
+#[derive(Debug, Default)]
+pub struct Company {
+    /// Employee perspectives.
+    pub employees: Vec<Oid>,
+    /// Manager perspectives.
+    pub managers: Vec<Oid>,
+    /// Departments.
+    pub departments: Vec<Oid>,
+    /// Projects.
+    pub projects: Vec<Oid>,
+}
+
+/// Populate a company database. Reporting lines form a forest (each
+/// employee reports to an earlier-created employee), so org-chart closures
+/// terminate. Deterministic in `seed`.
+pub fn populate(size: CompanySize, seed: u64) -> (Database, Company) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new(schema());
+    let employee = db.schema().class_by_name("Employee").unwrap();
+    let manager = db.schema().class_by_name("Manager").unwrap();
+    let department = db.schema().class_by_name("Department").unwrap();
+    let project = db.schema().class_by_name("Project").unwrap();
+    let works_in = db.schema().own_link_by_name(employee, "WorksIn").unwrap();
+    let assigned = db.schema().own_link_by_name(employee, "AssignedTo").unwrap();
+    let sponsors = db.schema().own_link_by_name(department, "Sponsors").unwrap();
+    let reports = db.schema().own_link_by_name(employee, "ReportsTo").unwrap();
+
+    let mut com = Company::default();
+    for i in 0..size.departments {
+        let d = db.new_object(department).unwrap();
+        db.set_attr(d, "dname", Value::str(format!("dept-{i}"))).unwrap();
+        com.departments.push(d);
+    }
+    for i in 0..size.projects {
+        let p = db.new_object(project).unwrap();
+        db.set_attr(p, "budget", Value::Int(rng.random_range(10..1000))).unwrap();
+        if !com.departments.is_empty() {
+            let d = com.departments[i % com.departments.len()];
+            db.associate(sponsors, d, p).unwrap();
+        }
+        com.projects.push(p);
+    }
+    for i in 0..size.employees {
+        let e = db.new_object(employee).unwrap();
+        db.set_attr(e, "ename", Value::str(format!("emp-{i}"))).unwrap();
+        db.set_attr(e, "salary", Value::Int(rng.random_range(30..200) * 1000)).unwrap();
+        if !com.departments.is_empty() {
+            let d = com.departments[rng.random_range(0..com.departments.len())];
+            db.associate(works_in, e, d).unwrap();
+        }
+        for _ in 0..size.assignments_per_employee {
+            if com.projects.is_empty() {
+                break;
+            }
+            let p = com.projects[rng.random_range(0..com.projects.len())];
+            db.associate(assigned, e, p).unwrap();
+        }
+        if !com.employees.is_empty() {
+            let boss = com.employees[rng.random_range(0..com.employees.len())];
+            db.associate(reports, e, boss).unwrap();
+        }
+        if rng.random_range(0..1000) < size.manager_per_mille {
+            com.managers.push(db.specialize(e, manager).unwrap());
+        }
+        com.employees.push(e);
+    }
+    (db, com)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populate_small() {
+        let (db, com) = populate(CompanySize::small(), 11);
+        assert_eq!(com.employees.len(), 30);
+        assert_eq!(com.departments.len(), 3);
+        let employee = db.schema().class_by_name("Employee").unwrap();
+        assert_eq!(db.extent_size(employee), 30);
+        // Reporting lines are acyclic by construction: closure terminates.
+        let reports = db.schema().own_link_by_name(employee, "ReportsTo").unwrap();
+        assert!(db.link_count(reports) <= 29);
+    }
+
+    #[test]
+    fn managers_are_perspectives() {
+        let (db, com) = populate(CompanySize::small(), 11);
+        let manager = db.schema().class_by_name("Manager").unwrap();
+        for &m in &com.managers {
+            assert_eq!(db.class_of(m).unwrap(), manager);
+        }
+    }
+}

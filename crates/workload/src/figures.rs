@@ -1,0 +1,165 @@
+//! The exact worked-example instances from the paper's figures.
+//!
+//! [`fig_3_1`] reproduces the extensional diagram of Fig. 3.1b over the
+//! university schema: teachers t1–t4, sections s2–s5, courses c1–c4, with
+//!
+//! * t1 teaches s2; t2 teaches s3; t3 teaches s4; t4 teaches nothing;
+//! * s2 is a section of c1; s3 of both c1 and c2 (the figure notes the
+//!   usual single-course constraint is waived "in order to describe the
+//!   most general case" — we build s3's second course through a second
+//!   section-course link, so the schema here relaxes Section→Course to
+//!   many-valued); s4 has no course; s5 is a section of c4;
+//! * c3 has no sections.
+//!
+//! The five extensional pattern types of the figure are then
+//! `(Teacher, Section, Course)`, `(Teacher, Section)`, `(Section, Course)`,
+//! `(Teacher)` and `(Course)`.
+
+use dood_core::fxhash::FxHashMap;
+use dood_core::ids::Oid;
+use dood_core::schema::{Schema, SchemaBuilder};
+use dood_core::value::{DType, Value};
+use dood_store::Database;
+
+/// Build the reduced Teacher–Section–Course schema used by Fig. 3.1 (the
+/// relevant corner of Fig. 2.1, with Section→Course many-valued per the
+/// figure's footnote).
+pub fn fig_3_1_schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.e_class("Teacher");
+    b.e_class("Section");
+    b.e_class("Course");
+    b.d_class("name", DType::Str);
+    b.d_class("section#", DType::Int);
+    b.d_class("c#", DType::Int);
+    b.d_class("title", DType::Str);
+    b.attr("Teacher", "name");
+    b.attr_named("Section", "section#", "section#");
+    b.attr_named("Course", "c#", "c#");
+    b.attr("Course", "title");
+    b.aggregate_named("Teacher", "Section", "Teaches");
+    b.aggregate_single("Section", "Course"); // waived to many below
+    b.build().expect("fig 3.1 schema valid")
+}
+
+/// The Fig. 3.1b instance. Returns the database and a name → OID map with
+/// keys `t1..t4`, `s2..s5`, `c1..c4`.
+pub fn fig_3_1() -> (Database, FxHashMap<String, Oid>) {
+    // Section→Course must be many-valued for s3 (see module docs).
+    let mut b = SchemaBuilder::new();
+    b.e_class("Teacher");
+    b.e_class("Section");
+    b.e_class("Course");
+    b.d_class("name", DType::Str);
+    b.d_class("section#", DType::Int);
+    b.d_class("c#", DType::Int);
+    b.d_class("title", DType::Str);
+    b.attr("Teacher", "name");
+    b.attr_named("Section", "section#", "section#");
+    b.attr_named("Course", "c#", "c#");
+    b.attr("Course", "title");
+    b.aggregate_named("Teacher", "Section", "Teaches");
+    b.aggregate("Section", "Course");
+    let mut db = Database::new(b.build().expect("valid"));
+
+    let teacher = db.schema().class_by_name("Teacher").unwrap();
+    let section = db.schema().class_by_name("Section").unwrap();
+    let course = db.schema().class_by_name("Course").unwrap();
+    let teaches = db.schema().own_link_by_name(teacher, "Teaches").unwrap();
+    let of = db.schema().own_link_by_name(section, "Course").unwrap();
+
+    let mut names: FxHashMap<String, Oid> = FxHashMap::default();
+    for i in 1..=4 {
+        let t = db.new_object(teacher).unwrap();
+        db.set_attr(t, "name", Value::str(format!("t{i}"))).unwrap();
+        names.insert(format!("t{i}"), t);
+    }
+    for i in 2..=5 {
+        let s = db.new_object(section).unwrap();
+        db.set_attr(s, "section#", Value::Int(i as i64)).unwrap();
+        names.insert(format!("s{i}"), s);
+    }
+    for i in 1..=4 {
+        let c = db.new_object(course).unwrap();
+        db.set_attr(c, "c#", Value::Int(1000 * i as i64)).unwrap();
+        db.set_attr(c, "title", Value::str(format!("c{i}"))).unwrap();
+        names.insert(format!("c{i}"), c);
+    }
+    let o = |n: &str, names: &FxHashMap<String, Oid>| names[n];
+    db.associate(teaches, o("t1", &names), o("s2", &names)).unwrap();
+    db.associate(teaches, o("t2", &names), o("s3", &names)).unwrap();
+    db.associate(teaches, o("t3", &names), o("s4", &names)).unwrap();
+    db.associate(of, o("s2", &names), o("c1", &names)).unwrap();
+    db.associate(of, o("s3", &names), o("c1", &names)).unwrap();
+    db.associate(of, o("s3", &names), o("c2", &names)).unwrap();
+    db.associate(of, o("s5", &names), o("c4", &names)).unwrap();
+    (db, names)
+}
+
+/// The §5.1 brace-subsumption example: classes A, B, C, D in a chain, with
+/// exactly the instance patterns (a1, b5, c5, d5) and (b2, c2). Returns the
+/// database and the name → OID map (`a1, b5, c5, d5, b2, c2`).
+pub fn fig_5_1() -> (Database, FxHashMap<String, Oid>) {
+    let mut b = SchemaBuilder::new();
+    for c in ["A", "B", "C", "D"] {
+        b.e_class(c);
+    }
+    b.aggregate("A", "B");
+    b.aggregate("B", "C");
+    b.aggregate("C", "D");
+    let mut db = Database::new(b.build().expect("valid"));
+    let cls = |db: &Database, n: &str| db.schema().class_by_name(n).unwrap();
+    let (a, bb, c, d) = (cls(&db, "A"), cls(&db, "B"), cls(&db, "C"), cls(&db, "D"));
+    let ab = db.schema().own_link_by_name(a, "B").unwrap();
+    let bc = db.schema().own_link_by_name(bb, "C").unwrap();
+    let cd = db.schema().own_link_by_name(c, "D").unwrap();
+    let mut names = FxHashMap::default();
+    let a1 = db.new_object(a).unwrap();
+    let b5 = db.new_object(bb).unwrap();
+    let c5 = db.new_object(c).unwrap();
+    let d5 = db.new_object(d).unwrap();
+    let b2 = db.new_object(bb).unwrap();
+    let c2 = db.new_object(c).unwrap();
+    db.associate(ab, a1, b5).unwrap();
+    db.associate(bc, b5, c5).unwrap();
+    db.associate(cd, c5, d5).unwrap();
+    db.associate(bc, b2, c2).unwrap();
+    names.insert("a1".to_string(), a1);
+    names.insert("b5".to_string(), b5);
+    names.insert("c5".to_string(), c5);
+    names.insert("d5".to_string(), d5);
+    names.insert("b2".to_string(), b2);
+    names.insert("c2".to_string(), c2);
+    (db, names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig_3_1_has_expected_shape() {
+        let (db, names) = fig_3_1();
+        let s = db.schema();
+        let teacher = s.class_by_name("Teacher").unwrap();
+        assert_eq!(db.extent_size(teacher), 4);
+        let teaches = s.own_link_by_name(teacher, "Teaches").unwrap();
+        assert_eq!(db.link_count(teaches), 3);
+        // t4 teaches nothing.
+        assert!(db.neighbors(teaches, names["t4"], true).is_empty());
+        // s3 has two courses.
+        let section = s.class_by_name("Section").unwrap();
+        let of = s.own_link_by_name(section, "Course").unwrap();
+        assert_eq!(db.neighbors(of, names["s3"], true).len(), 2);
+    }
+
+    #[test]
+    fn fig_5_1_has_two_chains() {
+        let (db, names) = fig_5_1();
+        let s = db.schema();
+        let a = s.class_by_name("A").unwrap();
+        let ab = s.own_link_by_name(a, "B").unwrap();
+        assert!(db.linked(ab, names["a1"], names["b5"]));
+        assert_eq!(db.link_count(ab), 1);
+    }
+}

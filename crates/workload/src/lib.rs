@@ -1,0 +1,15 @@
+//! # dood-workload
+//!
+//! Workload generators for the `dood` reproduction: the paper's university
+//! schema and population (Fig. 2.1), the exact instances of its worked
+//! examples (Fig. 3.1b, §5.1), a CAD bill-of-materials domain for
+//! transitive-closure workloads, and a company domain for chaining and
+//! control-strategy experiments. All generators are deterministic in their
+//! seed.
+
+#![warn(missing_docs)]
+
+pub mod cad;
+pub mod company;
+pub mod figures;
+pub mod university;

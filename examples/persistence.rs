@@ -1,0 +1,70 @@
+//! Persistence: dump a populated university database to the line-oriented
+//! `dooddump` format, reload it, and show that rules and queries behave
+//! identically over the reloaded store.
+//!
+//! ```sh
+//! cargo run --example persistence
+//! ```
+
+use dood::rules::RuleEngine;
+use dood::store::{dump, load, load_full, save_full};
+use dood::workload::university::{self, Size};
+
+fn main() {
+    let db = university::populate(Size::small(), 42);
+    println!(
+        "populated {} objects; dumping to the dooddump v1 text format…",
+        db.object_count()
+    );
+
+    let text = dump(&db);
+    let lines = text.lines().count();
+    println!("dump: {lines} lines, {} bytes", text.len());
+    println!("--- first 8 lines ---");
+    for l in text.lines().take(8) {
+        println!("{l}");
+    }
+    println!("----------------------\n");
+
+    // Reload into a fresh store over the same schema.
+    let loaded = load(university::schema(), &text).expect("well-formed dump");
+    assert_eq!(dump(&loaded), text, "dumps are deterministic and stable");
+    println!("reloaded {} objects; dumps are byte-identical.", loaded.object_count());
+
+    // The reloaded store supports the full deductive stack.
+    let run = |db: dood::store::Database| {
+        let mut engine = RuleEngine::new(db);
+        engine
+            .add_rule(
+                "R1",
+                "if context Teacher * Section * Course then Teacher_course (Teacher, Course)",
+            )
+            .unwrap();
+        engine
+            .query(
+                "context Teacher_course:Teacher * Teacher_course:Course \
+                 select Teacher[name], Course[title] display",
+            )
+            .unwrap()
+            .table
+    };
+    let original_table = run(university::populate(Size::small(), 42));
+    let reloaded_table = run(loaded);
+    assert_eq!(original_table, reloaded_table);
+    println!(
+        "rule R1 over the reloaded store derives the same {} rows — \
+         derived data is recomputable from persisted base data.",
+        reloaded_table.len()
+    );
+
+    // Fully self-describing documents: schema DDL + data in one file.
+    let db2 = university::populate(Size::small(), 42);
+    let doc = save_full(&db2);
+    let restored = load_full(&doc).expect("well-formed doodfile");
+    assert_eq!(save_full(&restored), doc);
+    println!(
+        "\nself-describing doodfile: {} bytes (schema DDL + data); \
+         reload needs no Rust-side schema.",
+        doc.len()
+    );
+}

@@ -1,0 +1,67 @@
+//! Quickstart: build the paper's university database (Fig. 2.1), look at
+//! its S-diagram, run the paper's Query 3.1 and Query 3.2, and derive the
+//! first rule's subdatabase.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dood::rules::RuleEngine;
+use dood::workload::university::{self, Size};
+
+fn main() {
+    // 1. Schema: the S-diagram of Fig. 2.1.
+    let schema = university::schema();
+    println!("== University S-diagram (paper Fig. 2.1) ==\n{}", schema.render_text());
+
+    // 2. A small, deterministic population.
+    let db = university::populate(Size::small(), 42);
+    println!(
+        "Populated {} objects across {} classes.\n",
+        db.object_count(),
+        db.schema().e_classes().count()
+    );
+
+    let mut engine = RuleEngine::new(db);
+
+    // 3. Query 3.1: "Display the names of the teachers who teach some
+    //    sections and the section#'s of these sections."
+    let out = engine
+        .query("context Teacher * Section select name, section# display")
+        .expect("query 3.1");
+    println!("== Query 3.1: context Teacher * Section ==");
+    println!("{}", out.op_results[0].1);
+
+    // 4. Query 3.2 (adapted thresholds): departments offering 6000-level
+    //    courses with current sections.
+    let out = engine
+        .query(
+            "context Department * Course [c# >= 6000 and c# < 7000] * Section \
+             select name, title, textbook print",
+        )
+        .expect("query 3.2");
+    println!("== Query 3.2: 6000-level offerings ==");
+    println!("{}", out.op_results[0].1);
+
+    // 5. Rule R1: derive Teacher_course — teachers related directly to the
+    //    courses they teach, through sections (paper §4.2 / Fig. 4.3).
+    engine
+        .add_rule(
+            "R1",
+            "if context Teacher * Section * Course then Teacher_course (Teacher, Course)",
+        )
+        .expect("rule R1");
+    let sd = engine.subdb("Teacher_course").expect("derive Teacher_course");
+    println!("== Derived subdatabase (rule R1) ==");
+    println!("{sd}");
+
+    // 6. The derived subdatabase is itself queryable (closure property).
+    let out = engine
+        .query(
+            "context Teacher_course:Teacher * Teacher_course:Course \
+             select Teacher[name], Course[title] display",
+        )
+        .expect("query over derived data");
+    println!("== Query over the derived Teacher_course ==");
+    println!("{}", out.op_results[0].1);
+}

@@ -1,0 +1,23 @@
+//! Shared helpers for the paper-example integration tests.
+
+use dood::core::ids::Oid;
+use dood::core::subdb::Subdatabase;
+
+/// Collect a subdatabase's patterns as plain component vectors.
+pub fn patterns_of(sd: &Subdatabase) -> Vec<Vec<Option<Oid>>> {
+    sd.patterns().map(|p| p.components().to_vec()).collect()
+}
+
+/// Assert a subdatabase's pattern set equals the expected set, order-free.
+#[track_caller]
+pub fn assert_patterns(sd: &Subdatabase, mut expected: Vec<Vec<Option<Oid>>>) {
+    let mut actual = patterns_of(sd);
+    actual.sort();
+    expected.sort();
+    assert_eq!(actual, expected, "pattern set mismatch for `{}`:\n{}", sd.name, sd);
+}
+
+/// Shorthand for a non-null component.
+pub fn s(oid: Oid) -> Option<Oid> {
+    Some(oid)
+}

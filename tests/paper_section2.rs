@@ -1,0 +1,115 @@
+//! Paper §2 — the OO view of the university database: the Fig. 2.1
+//! S-diagram and the Fig. 2.2 expanded view of class RA.
+
+use dood::core::schema::parse_schema;
+use dood::core::schema::print_schema;
+use dood::workload::university;
+
+/// Fig. 2.1: the schema's structural shape.
+#[test]
+fn fig_2_1_schema_shape() {
+    let s = university::schema();
+    // 12 E-classes, 10 D-classes.
+    assert_eq!(s.e_classes().count(), 12);
+    assert_eq!(s.d_classes().count(), 10);
+    // "Person has two types of links: Aggregation links connecting Person
+    // to the D-classes SS and Name, and Generalization links to the
+    // E-classes Student and Teacher."
+    let person = s.class_by_name("Person").unwrap();
+    let attrs: Vec<&str> = s
+        .own_attrs(person)
+        .iter()
+        .map(|&a| s.assoc(a).name.as_str())
+        .collect();
+    assert_eq!(attrs, vec!["SS", "name"]);
+    let subs: Vec<&str> = s
+        .direct_subs(person)
+        .iter()
+        .map(|&c| s.class(c).name.as_str())
+        .collect();
+    assert_eq!(subs, vec!["Student", "Teacher"]);
+    // "The link labeled Major which emanates from the class Student has a
+    // different name from the class it connects to."
+    let student = s.class_by_name("Student").unwrap();
+    let major = s.own_link_by_name(student, "Major").unwrap();
+    assert_eq!(s.class(s.assoc(major).to).name, "Department");
+}
+
+/// Fig. 2.2: "the actual view of the class Research Assistant (RA) in which
+/// all the associations inherited by RA from its superclasses are
+/// explicitly represented."
+#[test]
+fn fig_2_2_ra_expanded_view() {
+    let s = university::schema();
+    let ra = s.class_by_name("RA").unwrap();
+    let view = s.expanded_view(ra);
+    let mut names: Vec<(String, u32)> = view
+        .iter()
+        .map(|e| (s.assoc(e.assoc).name.clone(), e.depth))
+        .collect();
+    names.sort();
+    // RA inherits through Grad → Student → Person: GPA (depth 1), the
+    // Advisee end of Advising (depth 1), Major/Enrolls/Transcripts
+    // (depth 2), SS/name (depth 3). Teacher-side links are absent: RA is
+    // not a Teacher subclass.
+    let has = |n: &str, d: u32| names.contains(&(n.to_string(), d));
+    assert!(has("GPA", 1));
+    assert!(has("Advisee", 1));
+    assert!(has("Major", 2));
+    assert!(has("Enrolls", 2));
+    assert!(has("Transcripts", 2));
+    assert!(has("SS", 3));
+    assert!(!names.iter().any(|(n, _)| n == "Teaches"));
+}
+
+/// The S-diagram renders every class and groups links by type letter.
+#[test]
+fn s_diagram_rendering() {
+    let s = university::schema();
+    let text = s.render_text();
+    for c in s.classes() {
+        assert!(text.contains(&c.name), "missing {}", c.name);
+    }
+    assert!(text.contains("[E] Person"));
+    assert!(text.contains("(D) SS"));
+    assert!(text.contains("G: "));
+    assert!(text.contains("A: "));
+    let dot = s.render_dot();
+    assert!(dot.contains("\"Person\" -> \"Student\""));
+    assert!(dot.contains("arrowhead=onormal"));
+}
+
+/// The Fig. 2.1 schema round-trips through the textual DDL.
+#[test]
+fn fig_2_1_ddl_round_trip() {
+    let s = university::schema();
+    let ddl = print_schema(&s);
+    let s2 = parse_schema(&ddl).expect("printed DDL re-parses");
+    assert_eq!(print_schema(&s2), ddl);
+    assert_eq!(s2.class_count(), s.class_count());
+    assert_eq!(s2.assoc_count(), s.assoc_count());
+    // Inheritance semantics survive: TA * Section is still ambiguous.
+    let ta = s2.class_by_name("TA").unwrap();
+    let section = s2.class_by_name("Section").unwrap();
+    assert!(s2.resolve_edge(ta, section).is_err());
+}
+
+/// §2: "a class inherits all the aggregation associations that connect to
+/// or emanate from its superclasses" — both directions, checked on TA.
+#[test]
+fn inheritance_covers_both_directions() {
+    let s = university::schema();
+    let ta = s.class_by_name("TA").unwrap();
+    let view = s.expanded_view(ta);
+    let names: Vec<&str> = view.iter().map(|e| s.assoc(e.assoc).name.as_str()).collect();
+    // Emanating (Teaches via Teacher, Enrolls via Student) and connecting
+    // (Advisee via Grad) links both appear.
+    assert!(names.contains(&"Teaches"));
+    assert!(names.contains(&"Enrolls"));
+    assert!(names.contains(&"Advisee"));
+    let advisee = view
+        .iter()
+        .find(|e| s.assoc(e.assoc).name == "Advisee")
+        .unwrap();
+    assert!(!advisee.emanating);
+}

@@ -1,0 +1,193 @@
+//! Paper §6 — control strategies: forward vs backward chaining, the
+//! POSTGRES rule-oriented restriction and the inconsistency it causes, and
+//! the paper's result-oriented fix.
+
+use dood::core::value::Value;
+use dood::rules::{ChainStrategy, ControlMode, EvalPolicy, RuleEngine};
+use dood::workload::company::{self, CompanySize};
+
+/// Build the §6 pipeline `DB → REa → REb → REc → REd` over the company
+/// domain (Ra..Rd are the paper's schematic rules).
+fn pipeline() -> RuleEngine {
+    let (db, _) = company::populate(CompanySize::small(), 21);
+    let mut engine = RuleEngine::new(db);
+    engine
+        .add_rule("Ra", "if context Employee * Department then REa (Employee, Department)")
+        .unwrap();
+    engine
+        .add_rule("Rb", "if context REa:Employee * Project then REb (Employee, Project)")
+        .unwrap();
+    engine
+        .add_rule("Rc", "if context REb:Employee * REb:Project then REc (Project)")
+        .unwrap();
+    engine
+        .add_rule("Rd", "if context REc:Project * Department then REd (Department)")
+        .unwrap();
+    engine
+}
+
+/// Make an update that changes the pipeline's inputs: hire an employee in
+/// the first department, assigned to the first project.
+fn hire(engine: &mut RuleEngine) {
+    let db = engine.db_mut();
+    let employee = db.schema().class_by_name("Employee").unwrap();
+    let department = db.schema().class_by_name("Department").unwrap();
+    let project = db.schema().class_by_name("Project").unwrap();
+    let works_in = db.schema().own_link_by_name(employee, "WorksIn").unwrap();
+    let assigned = db.schema().own_link_by_name(employee, "AssignedTo").unwrap();
+    let d = db.extent(department).next().unwrap();
+    // A brand-new project, so downstream projections (REc) really change.
+    let p = db.new_object(project).unwrap();
+    db.set_attr(p, "budget", Value::Int(1)).unwrap();
+    let sponsors = db.schema().own_link_by_name(department, "Sponsors").unwrap();
+    db.associate(sponsors, d, p).unwrap();
+    let e = db.new_object(employee).unwrap();
+    db.set_attr(e, "ename", Value::str("new-hire")).unwrap();
+    db.set_attr(e, "salary", Value::Int(50_000)).unwrap();
+    db.associate(works_in, e, d).unwrap();
+    db.associate(assigned, e, p).unwrap();
+}
+
+/// Backward chaining: nothing is derived until a query asks for it; then
+/// the whole source chain materializes.
+#[test]
+fn backward_chaining_is_lazy() {
+    let mut engine = pipeline();
+    assert!(engine.registry().is_empty());
+    engine.query("context REd:Department select dname display").unwrap();
+    for s in ["REa", "REb", "REc", "REd"] {
+        assert!(engine.registry().subdb(s).is_some(), "{s} should be derived");
+    }
+}
+
+/// Post-evaluated results are invalidated by updates and re-derived fresh
+/// on the next query (result-oriented mode, the default).
+#[test]
+fn post_evaluated_results_track_updates() {
+    let mut engine = pipeline();
+    let before = engine.subdb("REa").unwrap().len();
+    hire(&mut engine);
+    engine.propagate().unwrap();
+    // Invalidated:
+    assert!(engine.registry().subdb("REa").is_none());
+    let after = engine.subdb("REa").unwrap().len();
+    assert_eq!(after, before + 1);
+    assert!(engine.is_consistent("REa").unwrap());
+}
+
+/// Pre-evaluated results are forward-maintained: after `propagate`, the
+/// materialized copy is already consistent, with no query needed
+/// ("an up-to-date copy of the derived subdatabase is always kept
+/// available, which improves the performance of retrieval operations").
+#[test]
+fn pre_evaluated_results_forward_maintained() {
+    let mut engine = pipeline();
+    for s in ["REa", "REb", "REc", "REd"] {
+        engine.set_policy(s, EvalPolicy::PreEvaluated);
+    }
+    // Bootstrap materialization.
+    engine.query("context REd:Department").unwrap();
+    hire(&mut engine);
+    let rederived = engine.propagate().unwrap();
+    assert_eq!(rederived, vec!["REa", "REb", "REc", "REd"]);
+    for s in ["REa", "REb", "REc", "REd"] {
+        assert!(engine.is_consistent(s).unwrap(), "{s} should be consistent");
+    }
+}
+
+/// The mixed case the paper highlights: REd pre-evaluated, REb
+/// post-evaluated. "Whenever the database is updated, the rules Ra, Rb, Rc
+/// and Rd will be triggered in the forward chaining fashion to keep REd …
+/// up to date; REb on the other hand will be evaluated whenever a retrieval
+/// operation is issued against it. Thus Ra and Rb follow one control
+/// strategy when deriving REd and the other when deriving REb."
+#[test]
+fn result_oriented_mixing_stays_consistent() {
+    let mut engine = pipeline();
+    engine.set_policy("REd", EvalPolicy::PreEvaluated);
+    // REa, REb, REc stay post-evaluated.
+    engine.query("context REd:Department").unwrap();
+    hire(&mut engine);
+    engine.propagate().unwrap();
+    // The pre-evaluated result is already fresh…
+    assert!(engine.registry().subdb("REd").is_some());
+    assert!(engine.is_consistent("REd").unwrap());
+    // …and a later query on the post-evaluated REb recomputes it fresh.
+    engine.query("context REb:Employee * REb:Project").unwrap();
+    assert!(engine.is_consistent("REb").unwrap());
+}
+
+/// The POSTGRES rule-oriented restriction (paper §6): with Ra/Rb backward
+/// and Rc/Rd forward, "rules Rc and Rd, though they are forward chaining
+/// rules, will not be triggered to update the result REd … Thus REd may be
+/// inconsistent with the base data."
+#[test]
+fn control_strategy_postgres_scenario() {
+    let mut engine = pipeline();
+    engine.set_mode(ControlMode::RuleOriented);
+    engine.set_strategy("Ra", ChainStrategy::Backward);
+    engine.set_strategy("Rb", ChainStrategy::Backward);
+    engine.set_strategy("Rc", ChainStrategy::Forward);
+    engine.set_strategy("Rd", ChainStrategy::Forward);
+    // Materialize everything once (bootstrap query).
+    engine.query("context REd:Department").unwrap();
+    assert!(engine.is_consistent("REd").unwrap());
+
+    // Update the base data.
+    hire(&mut engine);
+    let rederived = engine.propagate().unwrap();
+    // The backward results were dropped, so the forward rule Rc could not
+    // run; Rd re-ran against the stale REc.
+    assert!(!rederived.contains(&"REc".to_string()));
+    // REd (and REc) are now inconsistent with the base data.
+    let c_ok = engine.is_consistent("REc").unwrap();
+    let d_ok = engine.is_consistent("REd").unwrap();
+    assert!(!c_ok, "REc should be stale under rule-oriented mixing");
+    // REd may coincidentally agree (it projects departments); staleness
+    // must show on at least one of the forward results.
+    assert!(!c_ok || !d_ok);
+
+    // The paper's fix: result-oriented control over the same pipeline.
+    engine.set_mode(ControlMode::ResultOriented);
+    engine.set_policy("REc", EvalPolicy::PreEvaluated);
+    engine.set_policy("REd", EvalPolicy::PreEvaluated);
+    hire(&mut engine);
+    engine.propagate().unwrap();
+    assert!(engine.is_consistent("REc").unwrap());
+    assert!(engine.is_consistent("REd").unwrap());
+}
+
+/// Forward chaining only touches affected results: updates to unrelated
+/// classes do not re-derive the pipeline.
+#[test]
+fn propagation_is_selective() {
+    let (db, _) = company::populate(CompanySize::small(), 22);
+    let mut engine = RuleEngine::new(db);
+    engine
+        .add_rule("Ra", "if context Employee * Department then REa (Employee, Department)")
+        .unwrap();
+    engine
+        .add_rule("Rp", "if context Department * Project then Sponsored (Department, Project)")
+        .unwrap();
+    engine.set_policy("REa", EvalPolicy::PreEvaluated);
+    engine.set_policy("Sponsored", EvalPolicy::PreEvaluated);
+    engine.query("context REa:Employee").unwrap();
+    engine.query("context Sponsored:Project").unwrap();
+
+    // A project-budget change touches Project only: REa must not re-derive.
+    let db = engine.db_mut();
+    let project = db.schema().class_by_name("Project").unwrap();
+    let p = db.extent(project).next().unwrap();
+    db.set_attr(p, "budget", Value::Int(999)).unwrap();
+    let rederived = engine.propagate().unwrap();
+    assert_eq!(rederived, vec!["Sponsored"]);
+}
+
+/// `propagate` with no events is a no-op.
+#[test]
+fn propagate_without_updates_is_noop() {
+    let mut engine = pipeline();
+    engine.query("context REa:Employee").unwrap();
+    assert!(engine.propagate().unwrap().is_empty());
+    assert!(engine.registry().subdb("REa").is_some());
+}
