@@ -1,26 +1,15 @@
 //! E1 — association-operator pattern matching vs the Datalog baseline join
 //! (`Teacher * Section * Course`) across population scales.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dood_bench::harness::Harness;
 use dood_bench::{assoc_datalog, assoc_dood, assoc_fixture};
-use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e1_assoc_op");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(1));
+fn main() {
+    let mut h = Harness::new("e1_assoc_op");
     for factor in [1usize, 2, 4] {
         let f = assoc_fixture(factor);
-        g.bench_with_input(BenchmarkId::new("dood", factor), &f, |b, f| {
-            b.iter(|| black_box(assoc_dood(f)));
-        });
-        g.bench_with_input(BenchmarkId::new("datalog", factor), &f, |b, f| {
-            b.iter(|| black_box(assoc_datalog(f)));
-        });
+        h.bench(&format!("dood/{factor}"), || assoc_dood(&f));
+        h.bench(&format!("datalog/{factor}"), || assoc_datalog(&f));
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

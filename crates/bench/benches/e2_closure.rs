@@ -1,27 +1,15 @@
 //! E2 — looping transitive closure (`Part ^*`, paper §5.2) vs Datalog
 //! recursive reachability over CAD bills of materials.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dood_bench::harness::Harness;
 use dood_bench::{closure_datalog, closure_dood, closure_fixture};
-use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2_closure");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(1));
+fn main() {
+    let mut h = Harness::new("e2_closure");
     for (depth, fanout) in [(4usize, 2usize), (8, 2), (12, 2), (6, 3)] {
         let f = closure_fixture(depth, fanout);
-        let id = format!("d{depth}f{fanout}");
-        g.bench_with_input(BenchmarkId::new("dood", &id), &f, |b, f| {
-            b.iter(|| black_box(closure_dood(f)));
-        });
-        g.bench_with_input(BenchmarkId::new("datalog", &id), &f, |b, f| {
-            b.iter(|| black_box(closure_datalog(f)));
-        });
+        h.bench(&format!("dood/d{depth}f{fanout}"), || closure_dood(&f));
+        h.bench(&format!("datalog/d{depth}f{fanout}"), || closure_datalog(&f));
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,35 +1,24 @@
 //! E3 — backward vs forward chaining (post- vs pre-evaluation) under
 //! query-heavy, update-heavy and mixed workloads (paper §6).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dood_bench::harness::Harness;
 use dood_bench::{chaining_workload, pipeline_engine};
 use dood_rules::EvalPolicy;
-use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e3_chaining");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(1));
+fn main() {
+    let mut h = Harness::new("e3_chaining");
     for (label, updates, queries) in
         [("query_heavy", 1usize, 20usize), ("update_heavy", 20, 1), ("mixed", 10, 10)]
     {
         for (pname, policy) in
             [("post", EvalPolicy::PostEvaluated), ("pre", EvalPolicy::PreEvaluated)]
         {
-            g.bench_function(BenchmarkId::new(pname, label), |b| {
-                b.iter_batched(
-                    || pipeline_engine(100, 3),
-                    |mut engine| {
-                        black_box(chaining_workload(&mut engine, policy, updates, queries))
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
-            });
+            h.bench_batched(
+                &format!("{pname}/{label}"),
+                || pipeline_engine(100, 3),
+                |mut engine| chaining_workload(&mut engine, policy, updates, queries),
+            );
         }
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

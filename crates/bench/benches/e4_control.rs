@@ -2,62 +2,49 @@
 //! update+propagate round (consistency outcomes are reported by the
 //! `report` binary; this measures the work).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dood_bench::harness::Harness;
 use dood_bench::{pipeline_engine, pipeline_update, rule_oriented_round};
 use dood_rules::{ControlMode, EvalPolicy};
-use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e4_control");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(1));
-    g.bench_function("result_oriented_all_pre", |b| {
-        b.iter_batched(
-            || {
-                let mut e = pipeline_engine(100, 4);
-                e.set_mode(ControlMode::ResultOriented);
-                for s in ["REa", "REb", "REc", "REd"] {
-                    e.set_policy(s, EvalPolicy::PreEvaluated);
-                }
-                e.query("context REd:Department").unwrap();
-                e
-            },
-            |mut e| {
-                pipeline_update(&mut e, 1);
-                black_box(e.propagate().unwrap().len())
-            },
-            criterion::BatchSize::LargeInput,
-        );
-    });
-    g.bench_function("result_oriented_all_post", |b| {
-        b.iter_batched(
-            || {
-                let mut e = pipeline_engine(100, 4);
-                e.query("context REd:Department").unwrap();
-                e
-            },
-            |mut e| {
-                pipeline_update(&mut e, 1);
-                e.propagate().unwrap();
-                black_box(e.query("context REd:Department").unwrap().table.len())
-            },
-            criterion::BatchSize::LargeInput,
-        );
-    });
-    g.bench_function("rule_oriented_mixed", |b| {
-        b.iter_batched(
-            || {
-                let mut e = pipeline_engine(100, 4);
-                e.query("context REd:Department").unwrap();
-                e
-            },
-            |mut e| black_box(rule_oriented_round(&mut e, 1)),
-            criterion::BatchSize::LargeInput,
-        );
-    });
-    g.finish();
+fn main() {
+    let mut h = Harness::new("e4_control");
+    h.bench_batched(
+        "result_oriented_all_pre",
+        || {
+            let mut e = pipeline_engine(100, 4);
+            e.set_mode(ControlMode::ResultOriented);
+            for s in ["REa", "REb", "REc", "REd"] {
+                e.set_policy(s, EvalPolicy::PreEvaluated);
+            }
+            e.query("context REd:Department").unwrap();
+            e
+        },
+        |mut e| {
+            pipeline_update(&mut e, 1);
+            e.propagate().unwrap().len()
+        },
+    );
+    h.bench_batched(
+        "result_oriented_all_post",
+        || {
+            let mut e = pipeline_engine(100, 4);
+            e.query("context REd:Department").unwrap();
+            e
+        },
+        |mut e| {
+            pipeline_update(&mut e, 1);
+            e.propagate().unwrap();
+            e.query("context REd:Department").unwrap().table.len()
+        },
+    );
+    h.bench_batched(
+        "rule_oriented_mixed",
+        || {
+            let mut e = pipeline_engine(100, 4);
+            e.query("context REd:Department").unwrap();
+            e
+        },
+        |mut e| rule_oriented_round(&mut e, 1),
+    );
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,23 +1,14 @@
 //! E5 — inheritance-path resolution and perspective climbing across
 //! generalization depths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dood_bench::harness::Harness;
 use dood_bench::{inherit_fixture, inherit_query};
-use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e5_inherit");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(1));
+fn main() {
+    let mut h = Harness::new("e5_inherit");
     for depth in [2usize, 8, 16, 32] {
         let db = inherit_fixture(depth, 500);
-        g.bench_with_input(BenchmarkId::from_parameter(depth), &db, |b, db| {
-            b.iter(|| black_box(inherit_query(db, depth)));
-        });
+        h.bench(&format!("{depth}"), || inherit_query(&db, depth));
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,49 +1,33 @@
 //! E6 — brace (outer-pattern) evaluation overhead vs the plain association
 //! operator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dood_bench::braces_pair;
+use dood_bench::harness::Harness;
 use dood_core::subdb::SubdbRegistry;
 use dood_oql::Oql;
 use dood_workload::university;
-use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e6_braces");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(1));
+fn main() {
+    let mut h = Harness::new("e6_braces");
     for factor in [1usize, 2, 4] {
         let db = university::populate(university::Size::scaled(factor), 6);
         let reg = SubdbRegistry::new();
-        g.bench_with_input(BenchmarkId::new("plain", factor), &db, |b, db| {
-            let oql = Oql::new();
-            b.iter(|| {
-                black_box(
-                    oql.query(db, &reg, "context Teacher * Section * Course")
-                        .unwrap()
-                        .subdb
-                        .len(),
-                )
-            });
+        let oql = Oql::new();
+        h.bench(&format!("plain/{factor}"), || {
+            oql.query(&db, &reg, "context Teacher * Section * Course")
+                .unwrap()
+                .subdb
+                .len()
         });
-        g.bench_with_input(BenchmarkId::new("braced", factor), &db, |b, db| {
-            let oql = Oql::new();
-            b.iter(|| {
-                black_box(
-                    oql.query(db, &reg, "context {Teacher * Section} * Course")
-                        .unwrap()
-                        .subdb
-                        .len(),
-                )
-            });
+        h.bench(&format!("braced/{factor}"), || {
+            oql.query(&db, &reg, "context {Teacher * Section} * Course")
+                .unwrap()
+                .subdb
+                .len()
         });
         // Sanity outside the timed loop.
         let (p, br) = braces_pair(&db);
         assert!(br >= p);
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

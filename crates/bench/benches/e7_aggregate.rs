@@ -1,23 +1,14 @@
 //! E7 — grouped aggregation (`COUNT … BY …`, rule R2) at scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dood_bench::aggregate_query;
+use dood_bench::harness::Harness;
 use dood_workload::university;
-use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e7_aggregate");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(1));
+fn main() {
+    let mut h = Harness::new("e7_aggregate");
     for factor in [1usize, 2, 4] {
         let db = university::populate(university::Size::scaled(factor), 8);
-        g.bench_with_input(BenchmarkId::from_parameter(factor), &db, |b, db| {
-            b.iter(|| black_box(aggregate_query(db, 10)));
-        });
+        h.bench(&format!("{factor}"), || aggregate_query(&db, 10));
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,26 +1,15 @@
 //! E8 — baseline sanity: naive vs semi-naive fixpoint evaluation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dood_bench::harness::Harness;
 use dood_bench::tc_program_and_edb;
 use dood_datalog::{naive, seminaive};
-use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e8_datalog");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(1));
+fn main() {
+    let mut h = Harness::new("e8_datalog");
     for n in [16u64, 32, 64] {
         let (p, edb) = tc_program_and_edb(n);
-        g.bench_with_input(BenchmarkId::new("naive", n), &(p.clone(), edb.clone()), |b, (p, e)| {
-            b.iter(|| black_box(naive(p, e).0.total()));
-        });
-        g.bench_with_input(BenchmarkId::new("seminaive", n), &(p, edb), |b, (p, e)| {
-            b.iter(|| black_box(seminaive(p, e).0.total()));
-        });
+        h.bench(&format!("naive/{n}"), || naive(&p, &edb).0.total());
+        h.bench(&format!("seminaive/{n}"), || seminaive(&p, &edb).0.total());
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

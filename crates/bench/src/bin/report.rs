@@ -5,14 +5,73 @@
 //! cargo run --release -p dood-bench --bin report
 //! ```
 //!
-//! Unlike the Criterion benches (statistically rigorous timing), this
-//! binary takes a few quick wall-clock medians so the whole suite finishes
-//! in seconds and the *shape* of every result is visible at a glance.
+//! Unlike the bench targets (warmup + batched sampling via the in-repo
+//! harness), this binary takes a few quick wall-clock medians so the whole
+//! suite finishes in seconds and the *shape* of every result is visible at
+//! a glance.
+//!
+//! It can also re-render the JSON-lines files the bench harness writes
+//! (`target/bench-json/BENCH_<group>.json` by default):
+//!
+//! ```sh
+//! cargo bench --workspace
+//! cargo run --release -p dood-bench --bin report -- \
+//!     --from-json target/bench-json/BENCH_*.json
+//! ```
 
+use dood_bench::harness::{fmt_ns, Record};
 use dood_bench::*;
 use dood_rules::{ControlMode, EvalPolicy};
 use dood_workload::university;
 use std::time::Instant;
+
+/// Render bench-harness JSON-lines files as grouped markdown tables.
+/// Returns an error line count (unparseable lines / unreadable files).
+fn report_from_json(paths: &[String]) -> usize {
+    println!("# dood bench results (from JSON)");
+    let mut errors = 0;
+    let mut records: Vec<Record> = Vec::new();
+    for path in paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                    match Record::from_json_line(line) {
+                        Some(r) => records.push(r),
+                        None => {
+                            eprintln!("warning: unparseable line in {path}: {line}");
+                            errors += 1;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("warning: cannot read {path}: {e}");
+                errors += 1;
+            }
+        }
+    }
+    let mut groups: Vec<&str> = records.iter().map(|r| r.group.as_str()).collect();
+    groups.dedup();
+    for group in groups {
+        println!("\n## {group}\n");
+        println!("| bench | median | p95 | mean | min | samples | iters |");
+        println!("|---|---|---|---|---|---|---|");
+        for r in records.iter().filter(|r| r.group == group) {
+            println!(
+                "| {} | {} | {} | {} | {} | {} | {} |",
+                r.bench,
+                fmt_ns(r.median_ns),
+                fmt_ns(r.p95_ns),
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.min_ns),
+                r.samples,
+                r.iters
+            );
+        }
+    }
+    println!("\n{} records.", records.len());
+    errors
+}
 
 /// Median wall-clock time of `runs` executions, in microseconds.
 fn time_us<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -32,6 +91,11 @@ fn header(title: &str) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--from-json") {
+        let errors = report_from_json(&args[1..]);
+        std::process::exit(if errors == 0 { 0 } else { 1 });
+    }
     println!("# dood evaluation report");
     println!("(median of 5 runs per cell; debug/release per build profile)");
 

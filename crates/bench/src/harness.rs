@@ -1,0 +1,425 @@
+//! The in-repo benchmark harness that replaces Criterion so `cargo bench`
+//! runs hermetically (no registry dependencies).
+//!
+//! Protocol per benchmark: a time-boxed warmup, then timed samples; each
+//! sample is a batch of iterations sized so the clock resolution doesn't
+//! dominate. Reported statistics are per-iteration median, p95, mean and
+//! min in nanoseconds.
+//!
+//! Results stream to stdout as human-readable lines and are written as
+//! JSON lines (one object per benchmark) to `$DOOD_BENCH_JSON/BENCH_<group>.json`
+//! if that env var (a directory) is set, else `target/bench-json/BENCH_<group>.json`. The `report` binary can
+//! re-render these files (`--from-json <file>…`), and the flat format is
+//! parsed by [`parse_json_line`] in this module — keep the two in sync.
+//!
+//! `cargo bench` CLI compatibility: flags (`--bench`, …) are ignored; a
+//! bare positional argument is a substring filter on benchmark names.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget for one benchmark's timed phase.
+const MEASURE_BUDGET: Duration = Duration::from_millis(700);
+/// Target wall-clock budget for warmup.
+const WARMUP_BUDGET: Duration = Duration::from_millis(200);
+/// Preferred number of samples per benchmark.
+const TARGET_SAMPLES: usize = 15;
+/// Minimum samples before budget cut-off applies.
+const MIN_SAMPLES: usize = 5;
+
+/// One benchmark's measured statistics (all times per-iteration, ns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Benchmark group (one per bench target, e.g. `e1_assoc_op`).
+    pub group: String,
+    /// Benchmark name within the group (e.g. `dood/4`).
+    pub bench: String,
+    /// Total timed iterations across all samples.
+    pub iters: u64,
+    /// Number of samples (batches) taken.
+    pub samples: usize,
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// 95th-percentile per-iteration time (nearest-rank).
+    pub p95_ns: f64,
+    /// Mean per-iteration time.
+    pub mean_ns: f64,
+    /// Fastest per-iteration time.
+    pub min_ns: f64,
+}
+
+impl Record {
+    /// Serialize as one JSON line (the `BENCH_*.json` format).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"group\":{},\"bench\":{},\"iters\":{},\"samples\":{},\
+             \"median_ns\":{},\"p95_ns\":{},\"mean_ns\":{},\"min_ns\":{}}}",
+            json_string(&self.group),
+            json_string(&self.bench),
+            self.iters,
+            self.samples,
+            self.median_ns,
+            self.p95_ns,
+            self.mean_ns,
+            self.min_ns,
+        )
+    }
+
+    /// Parse one JSON line previously produced by [`Record::to_json_line`].
+    pub fn from_json_line(line: &str) -> Option<Record> {
+        let fields = parse_json_line(line)?;
+        let str_field = |k: &str| -> Option<String> {
+            fields.iter().find(|(key, _)| key == k).and_then(|(_, v)| match v {
+                JsonVal::Str(s) => Some(s.clone()),
+                JsonVal::Num(_) => None,
+            })
+        };
+        let num_field = |k: &str| -> Option<f64> {
+            fields.iter().find(|(key, _)| key == k).and_then(|(_, v)| match v {
+                JsonVal::Num(n) => Some(*n),
+                JsonVal::Str(_) => None,
+            })
+        };
+        Some(Record {
+            group: str_field("group")?,
+            bench: str_field("bench")?,
+            iters: num_field("iters")? as u64,
+            samples: num_field("samples")? as usize,
+            median_ns: num_field("median_ns")?,
+            p95_ns: num_field("p95_ns")?,
+            mean_ns: num_field("mean_ns")?,
+            min_ns: num_field("min_ns")?,
+        })
+    }
+}
+
+/// Harness for one bench target: register benchmarks, then [`finish`].
+///
+/// [`finish`]: Harness::finish
+pub struct Harness {
+    group: String,
+    filter: Option<String>,
+    records: Vec<Record>,
+}
+
+impl Harness {
+    /// Start a harness for `group`, reading the CLI filter from `argv`.
+    pub fn new(group: &str) -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        println!("# bench group {group}");
+        Harness { group: group.to_string(), filter, records: Vec::new() }
+    }
+
+    fn skipped(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => !name.contains(f.as_str()) && !self.group.contains(f.as_str()),
+            None => false,
+        }
+    }
+
+    /// Benchmark `f`, batching iterations against clock resolution.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if self.skipped(name) {
+            return;
+        }
+        // Warmup, and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_BUDGET || warm_iters < 3 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        // Batch so one sample is ≥ ~100µs (clock noise) but small enough
+        // that TARGET_SAMPLES batches fit the budget.
+        let budget_ns = MEASURE_BUDGET.as_nanos() as f64;
+        let by_budget = budget_ns / (TARGET_SAMPLES as f64 * est_ns);
+        let by_noise = 100_000.0 / est_ns;
+        let batch = by_noise.max(1.0).min(by_budget.max(1.0)).round() as u64;
+
+        let mut samples = Vec::with_capacity(TARGET_SAMPLES);
+        let mut total_iters = 0u64;
+        let run_start = Instant::now();
+        while samples.len() < TARGET_SAMPLES
+            && (samples.len() < MIN_SAMPLES || run_start.elapsed() < MEASURE_BUDGET)
+        {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            total_iters += batch;
+        }
+        self.record(name, total_iters, samples);
+    }
+
+    /// Benchmark `routine` with a fresh `setup` value per iteration;
+    /// setup time is excluded. For routines that consume/mutate state.
+    pub fn bench_batched<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        if self.skipped(name) {
+            return;
+        }
+        // One warmup iteration (these routines are typically expensive).
+        std::hint::black_box(routine(setup()));
+        let mut samples = Vec::with_capacity(TARGET_SAMPLES);
+        let run_start = Instant::now();
+        while samples.len() < TARGET_SAMPLES
+            && (samples.len() < MIN_SAMPLES || run_start.elapsed() < MEASURE_BUDGET)
+        {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(t.elapsed().as_nanos() as f64);
+        }
+        let iters = samples.len() as u64;
+        self.record(name, iters, samples);
+    }
+
+    fn record(&mut self, name: &str, iters: u64, mut samples: Vec<f64>) {
+        samples.sort_by(f64::total_cmp);
+        let n = samples.len();
+        let median_ns = samples[n / 2];
+        let p95_ns = samples[(n * 95 / 100).min(n - 1)];
+        let mean_ns = samples.iter().sum::<f64>() / n as f64;
+        let min_ns = samples[0];
+        let rec = Record {
+            group: self.group.clone(),
+            bench: name.to_string(),
+            iters,
+            samples: n,
+            median_ns,
+            p95_ns,
+            mean_ns,
+            min_ns,
+        };
+        println!(
+            "{}/{:<24} median {:>12}  p95 {:>12}  ({} samples, {} iters)",
+            rec.group,
+            rec.bench,
+            fmt_ns(rec.median_ns),
+            fmt_ns(rec.p95_ns),
+            rec.samples,
+            rec.iters
+        );
+        self.records.push(rec);
+    }
+
+    /// Write the JSON-lines result file and print its path.
+    pub fn finish(self) {
+        let path = out_path(&self.group);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::File::create(&path) {
+            Ok(mut f) => {
+                for r in &self.records {
+                    let _ = writeln!(f, "{}", r.to_json_line());
+                }
+                println!("# wrote {} records to {}", self.records.len(), path.display());
+            }
+            Err(e) => eprintln!("# could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn out_path(group: &str) -> PathBuf {
+    if let Some(dir) = std::env::var_os("DOOD_BENCH_JSON") {
+        return PathBuf::from(dir).join(format!("BENCH_{group}.json"));
+    }
+    // Bench executables run with CWD = the package dir; anchor the default
+    // output at the workspace root so all groups land in one place.
+    let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_default();
+    workspace.join("target/bench-json").join(format!("BENCH_{group}.json"))
+}
+
+/// Human scale for nanosecond figures.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A scalar in the flat JSON-lines bench format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonVal {
+    /// A JSON string.
+    Str(String),
+    /// A JSON number.
+    Num(f64),
+}
+
+/// Parse one flat JSON object (string/number values only — the shape
+/// [`Record::to_json_line`] emits). Returns `None` on malformed input.
+pub fn parse_json_line(line: &str) -> Option<Vec<(String, JsonVal)>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = Vec::new();
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+                continue;
+            }
+            _ => {}
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let val = if *chars.peek()? == '"' {
+            JsonVal::Str(parse_string(&mut chars)?)
+        } else {
+            let mut num = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                    num.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            JsonVal::Num(num.parse().ok()?)
+        };
+        fields.push((key, val));
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return None;
+    }
+    Some(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> Record {
+        Record {
+            group: "e1_assoc_op".into(),
+            bench: "dood/4".into(),
+            iters: 120,
+            samples: 15,
+            median_ns: 1234.5,
+            p95_ns: 2000.0,
+            mean_ns: 1300.25,
+            min_ns: 1100.0,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = record();
+        let line = r.to_json_line();
+        assert_eq!(Record::from_json_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn json_escaping_round_trips() {
+        let mut r = record();
+        r.bench = "we\"ird\\name\nwith\tstuff".into();
+        assert_eq!(Record::from_json_line(&r.to_json_line()).unwrap(), r);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json_line("").is_none());
+        assert!(parse_json_line("not json").is_none());
+        assert!(parse_json_line("{\"a\":}").is_none());
+        assert!(parse_json_line("{\"a\":1} trailing").is_none());
+        assert!(Record::from_json_line("{\"group\":\"g\"}").is_none());
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_unicode() {
+        let fields =
+            parse_json_line("{ \"k\" : \"caf\\u00e9\" , \"n\" : -1.5e3 }").unwrap();
+        assert_eq!(fields[0], ("k".into(), JsonVal::Str("café".into())));
+        assert_eq!(fields[1], ("n".into(), JsonVal::Num(-1500.0)));
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(512.0), "512ns");
+        assert_eq!(fmt_ns(1_500.0), "1.5us");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00s");
+    }
+}

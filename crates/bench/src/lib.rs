@@ -1,10 +1,12 @@
 //! Shared setup for the evaluation suite (experiments E1–E8 of DESIGN.md).
 //!
-//! Each experiment has a Criterion bench (`benches/`) and a row-printing
-//! entry in the `report` binary; both call into the fixtures here so they
-//! measure identical work.
+//! Each experiment has a bench target (`benches/`, running on the in-repo
+//! [`harness`]) and a row-printing entry in the `report` binary; both call
+//! into the fixtures here so they measure identical work.
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use dood_core::subdb::SubdbRegistry;
 use dood_datalog as datalog;

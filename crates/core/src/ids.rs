@@ -5,7 +5,6 @@
 //! `u32` newtypes for schema-level entities (classes, associations), which
 //! keeps hot join state small (perf-book: smaller integers for indices).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -13,7 +12,7 @@ macro_rules! id_newtype {
     ($(#[$meta:meta])* $name:ident, $repr:ty, $prefix:literal) => {
         $(#[$meta])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub $repr);
 

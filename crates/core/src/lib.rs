@@ -12,12 +12,16 @@
 //!   generalization bookkeeping, and the derived-subdatabase registry.
 //! * [`value`] / [`ids`] — D-class values and identifier newtypes.
 //! * [`fxhash`] — in-tree Fx hashing for integer-keyed hot maps.
+//! * [`rng`] / [`propcheck`] — in-tree seedable PRNG and property-test
+//!   driver, keeping the workspace free of external dependencies.
 
 #![warn(missing_docs)]
 
 pub mod error;
 pub mod fxhash;
 pub mod ids;
+pub mod propcheck;
+pub mod rng;
 pub mod schema;
 pub mod subdb;
 pub mod value;

@@ -1,0 +1,210 @@
+//! A minimal seeded property-testing driver over [`crate::rng`], replacing
+//! the external `proptest` dependency so the workspace builds hermetically.
+//!
+//! [`check`] runs a property closure over `N` generated cases. Each case
+//! gets an independently seeded [`Gen`]; on failure (panic inside the
+//! closure) the driver re-panics with the property name, the case index and
+//! the case seed, so the failure is reproducible:
+//!
+//! ```text
+//! DOOD_PROP_SEED=<case-seed> cargo test <property_name>
+//! ```
+//!
+//! Environment knobs:
+//! * `DOOD_PROP_CASES` — override the per-property case count;
+//! * `DOOD_PROP_SEED` — run exactly one case with this seed (for replaying
+//!   a reported failure).
+//!
+//! There is no shrinking: generated inputs are kept small by construction
+//! (sized collections, bounded recursion), which in practice keeps failing
+//! cases readable.
+
+use crate::rng::{splitmix64, Rng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Base seed mixed into every property; changing it reshuffles all cases.
+const BASE_SEED: u64 = 0xD00D_CAFE;
+
+/// The per-case generator handed to property closures: a seeded [`Rng`]
+/// plus combinators for the shapes property tests need.
+pub struct Gen {
+    rng: Rng,
+}
+
+impl Gen {
+    /// A generator with a fully determined stream.
+    pub fn from_seed(seed: u64) -> Self {
+        Gen { rng: Rng::seed_from_u64(seed) }
+    }
+
+    /// The underlying RNG, for direct [`Rng::random_range`] calls.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// Uniform sample from a range (see [`Rng::random_range`]).
+    pub fn range<R: crate::rng::SampleRange>(&mut self, r: R) -> R::Output {
+        self.rng.random_range(r)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.rng.random_bool(p)
+    }
+
+    /// `Some(f(self))` with probability 1/2.
+    pub fn option<T>(&mut self, f: impl FnOnce(&mut Gen) -> T) -> Option<T> {
+        if self.bool(0.5) {
+            Some(f(self))
+        } else {
+            None
+        }
+    }
+
+    /// A vector with uniformly chosen length in `len`, elements from `f`.
+    pub fn vec<T>(
+        &mut self,
+        len: std::ops::Range<usize>,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.range(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// One uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range(0..items.len())]
+    }
+
+    /// A string of length in `len` over the characters of `alphabet`.
+    pub fn string_of(&mut self, alphabet: &str, len: std::ops::Range<usize>) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        let n = self.range(len);
+        (0..n).map(|_| *self.choose(&chars)).collect()
+    }
+
+    /// An arbitrary printable string (ASCII plus a sprinkling of
+    /// multi-byte code points) — for totality/fuzz properties.
+    pub fn printable_string(&mut self, len: std::ops::Range<usize>) -> String {
+        let n = self.range(len);
+        (0..n)
+            .map(|_| {
+                if self.bool(0.85) {
+                    // Printable ASCII.
+                    self.range(0x20u32..0x7F) as u8 as char
+                } else {
+                    // Any printable-ish scalar value; skip surrogates.
+                    loop {
+                        let c = self.range(0xA0u32..0x2_FFFF);
+                        if let Some(c) = char::from_u32(c) {
+                            break c;
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// Run `prop` over `cases` generated cases (overridable via
+/// `DOOD_PROP_CASES` / `DOOD_PROP_SEED`); panics with a reproduction line
+/// on the first failing case.
+pub fn check(name: &str, cases: usize, mut prop: impl FnMut(&mut Gen)) {
+    if let Some(seed) = env_u64("DOOD_PROP_SEED") {
+        let mut g = Gen::from_seed(seed);
+        prop(&mut g);
+        return;
+    }
+    let cases = env_usize("DOOD_PROP_CASES").unwrap_or(cases);
+    let mut state = BASE_SEED ^ fingerprint(name);
+    for case in 0..cases {
+        let case_seed = splitmix64(&mut state);
+        let mut g = Gen::from_seed(case_seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| prop(&mut g)));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "property `{name}` failed on case {case}/{cases} \
+                 (replay with DOOD_PROP_SEED={case_seed}): {msg}"
+            );
+        }
+    }
+}
+
+/// Stable 64-bit fingerprint of the property name (FNV-1a), so each
+/// property gets its own case stream.
+fn fingerprint(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut n = 0;
+        check("always_true", 17, |g| {
+            let _ = g.range(0..10);
+            n += 1;
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn failing_property_reports_seed() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            check("always_false", 5, |_| panic!("boom"));
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("always_false"), "{msg}");
+        assert!(msg.contains("DOOD_PROP_SEED="), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_property() {
+        let collect = || {
+            let mut v = Vec::new();
+            check("stream", 5, |g| v.push(g.range(0u64..1000)));
+            v
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn combinators_respect_bounds() {
+        check("combinators", 50, |g| {
+            let v = g.vec(0..7, |g| g.range(1u64..6));
+            assert!(v.len() < 7);
+            assert!(v.iter().all(|&x| (1..6).contains(&x)));
+            let s = g.string_of("abc", 1..5);
+            assert!(!s.is_empty() && s.len() < 5);
+            assert!(s.chars().all(|c| "abc".contains(c)));
+            let p = g.printable_string(0..20);
+            assert!(p.chars().count() < 20);
+            let o = g.option(|g| g.range(0..3));
+            if let Some(x) = o {
+                assert!(x < 3);
+            }
+        });
+    }
+}

@@ -1,0 +1,256 @@
+//! A small, seedable pseudo-random number generator so the workspace needs
+//! no external `rand` crate: SplitMix64 seeding feeding xoshiro256++
+//! (Blackman & Vigna), with unbiased range sampling (Lemire's
+//! multiply-shift rejection method).
+//!
+//! The API mirrors the subset of `rand` the workload generators and tests
+//! use — [`Rng::seed_from_u64`] and [`Rng::random_range`] — so call sites
+//! read identically. Streams are deterministic in the seed and stable
+//! across platforms and releases; seeded populations are part of the
+//! repository's test oracles, so **changing the stream is a breaking
+//! change**.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step — used to expand a 64-bit seed into generator state and
+/// as the per-case seed derivation in [`crate::propcheck`].
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Build a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+
+    /// Uniform `u64` in `[0, n)`. `n` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "empty range");
+        // Lemire's multiply-shift with rejection of the biased low zone.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from a (half-open or inclusive) integer range, or a
+    /// half-open `f64` range. Panics on an empty range, like `rand`.
+    #[inline]
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+/// Ranges [`Rng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled element type.
+    type Output;
+    /// Draw one uniform sample. Panics if the range is empty.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                (self.start as $wide).wrapping_add(rng.below(span) as $wide) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as $wide).wrapping_add(rng.below(span + 1) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(
+    u8 => u64,
+    u16 => u64,
+    u32 => u64,
+    u64 => u64,
+    usize => u64,
+    i32 => i64,
+    i64 => i64,
+);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_answer_stream_is_stable() {
+        // Pin the stream: seeded populations are test oracles elsewhere.
+        let mut r = Rng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180,
+                211316841551650330
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let a = r.random_range(0..70);
+            assert!((0..70).contains(&a));
+            let b = r.random_range(1..=4i64);
+            assert!((1..=4).contains(&b));
+            let c = r.random_range(0u32..1000);
+            assert!(c < 1000);
+            let d = r.random_range(0usize..13);
+            assert!(d < 13);
+            let e = r.random_range(0usize..=3);
+            assert!(e <= 3);
+            let f = r.random_range(-50i64..50);
+            assert!((-50..50).contains(&f));
+            let g = r.random_range(-5.0f64..5.0);
+            assert!((-5.0..5.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn single_element_ranges_work() {
+        let mut r = Rng::seed_from_u64(1);
+        assert_eq!(r.random_range(3..4), 3);
+        assert_eq!(r.random_range(5..=5i64), 5);
+        assert_eq!(r.random_range(0u64..=0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::seed_from_u64(1).random_range(3..3);
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(9);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "bucket count {c} out of range");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn extreme_signed_ranges() {
+        let mut r = Rng::seed_from_u64(11);
+        for _ in 0..100 {
+            let v = r.random_range(i64::MIN..=i64::MAX);
+            let _ = v; // any value is in range; just must not panic
+            let w = r.random_range(i64::MIN..0);
+            assert!(w < 0);
+        }
+    }
+}

@@ -20,11 +20,10 @@
 //!   object" (paper §3.2).
 
 use crate::ids::{AssocId, ClassId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The five OSAM* association types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AssocKind {
     /// Aggregation (attribute / part-of). E→D aggregations are the
     /// *descriptive attributes* of the E-class.
@@ -69,7 +68,7 @@ impl fmt::Display for AssocKind {
 
 /// Cardinality of a link from the emanating side: how many `to`-objects one
 /// `from`-object may link to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Cardinality {
     /// At most one target object (e.g. a Section's Course).
     Single,
@@ -82,7 +81,7 @@ pub enum Cardinality {
 /// The paper notes constraints such as "a Non-null constraint on the
 /// aggregation association of Course with Section" (§3.1 footnote); we carry
 /// a `required` flag on the emanating side for this.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AssocDef {
     /// Stable identifier within the schema.
     pub id: AssocId,

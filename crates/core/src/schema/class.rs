@@ -8,11 +8,10 @@
 
 use crate::ids::ClassId;
 use crate::value::DType;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Whether a class is an entity class or a value-domain class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClassKind {
     /// Entity object class: instances are OID-identified objects.
     EClass,
@@ -43,7 +42,7 @@ impl ClassKind {
 }
 
 /// A class definition in a schema.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClassDef {
     /// Stable identifier within the schema.
     pub id: ClassId,

@@ -7,11 +7,10 @@ use crate::ids::{AssocId, ClassId};
 use crate::schema::assoc::{AssocDef, AssocKind};
 use crate::schema::class::ClassDef;
 use crate::value::DType;
-use serde::{Deserialize, Serialize};
 
 /// An immutable, validated schema: the intensional network of classes and
 /// associations (the S-diagram).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Schema {
     pub(crate) classes: Vec<ClassDef>,
     pub(crate) assocs: Vec<AssocDef>,

@@ -13,12 +13,11 @@
 //! induced by the deductive rule".
 
 use crate::ids::ClassId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Where a slot's class was derived from (the source end of the induced
 /// generalization association).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SlotSource {
     /// The slot ranges over a base class of the original database.
     Base,
@@ -33,7 +32,7 @@ pub enum SlotSource {
 }
 
 /// One class occurrence in an intensional pattern.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlotDef {
     /// Display name: the class name, possibly alias-suffixed (`Grad_2`).
     pub name: String,
@@ -66,7 +65,7 @@ impl SlotDef {
 /// Teacher and Course in the operand database are not directly associated
 /// but are associated through Section, a new direct association is derived
 /// between them in the resulting subdatabase" (paper §4.2, Fig. 4.3a).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IntEdge {
     /// Left slot index.
     pub a: u16,
@@ -75,7 +74,7 @@ pub struct IntEdge {
 }
 
 /// The intensional pattern: slots plus derived direct associations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Intension {
     /// Class occurrences, in pattern-component order.
     pub slots: Vec<SlotDef>,

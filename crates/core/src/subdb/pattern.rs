@@ -8,13 +8,12 @@
 //! slots of the owning intension.
 
 use crate::ids::Oid;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A pattern type: bitmask over the slots of an intension (bit i set ⇔ slot
 /// i is non-null). Limits an intension to 64 slots, asserted at
 /// construction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PatternType(pub u64);
 
 impl PatternType {
@@ -49,7 +48,7 @@ impl PatternType {
 
 /// An extensional association pattern: one `Option<Oid>` per slot of the
 /// owning intension.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ExtPattern {
     components: Box<[Option<Oid>]>,
 }

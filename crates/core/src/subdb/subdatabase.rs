@@ -6,13 +6,12 @@ use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::ids::Oid;
 use crate::subdb::intension::Intension;
 use crate::subdb::pattern::{ExtPattern, PatternType};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A subdatabase: "a portion of the original database … an intensional
 /// association pattern and a set of extensional association patterns".
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Subdatabase {
     /// Unique name (the `subdatabase-id` of a rule's THEN clause).
     pub name: String,

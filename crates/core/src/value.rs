@@ -5,13 +5,12 @@
 //! values" (paper §2). `Value` is the runtime representation of one such
 //! value; `DType` is the static type a D-class declares.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
 
 /// The simple data type of a D-class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DType {
     /// 64-bit signed integer.
     Int,
@@ -38,7 +37,7 @@ impl fmt::Display for DType {
 /// A descriptive-attribute value. `Null` models an unset attribute, which
 /// the paper uses pervasively (Null pattern components, Null-terminated
 /// closure iteration).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// Absent / unknown.
     Null,

@@ -1,178 +1,278 @@
 //! Property test: the pretty-printer and parser are inverses over
-//! generated ASTs (`parse(print(q)) == q`).
+//! generated ASTs (`parse(print(q)) == q`), driven by the in-repo
+//! [`dood_core::propcheck`] harness.
+//!
+//! Failure cases found by the retired `proptest` suite are pinned as the
+//! named `regression_*` tests at the bottom.
 
+use dood_core::propcheck::{check, Gen};
 use dood_oql::ast::*;
 use dood_oql::parser::Parser;
 use dood_oql::printer::print_query;
-use proptest::prelude::*;
 
 const KEYWORDS: &[&str] = &[
     "if", "then", "context", "where", "select", "and", "or", "not", "by",
 ];
 
-fn ident() -> impl Strategy<Value = String> {
-    "[A-Z][a-zA-Z0-9]{0,5}"
-        .prop_filter("not a keyword", |s| {
-            !KEYWORDS.contains(&s.to_ascii_lowercase().as_str())
-        })
+const UPPER: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+const ALNUM: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+const LOWER_NUM: &str = "abcdefghijklmnopqrstuvwxyz0123456789";
+
+/// `[A-Z][a-zA-Z0-9]{0,5}`, never a keyword.
+fn ident(g: &mut Gen) -> String {
+    loop {
+        let mut s = g.string_of(UPPER, 1..2);
+        s.push_str(&g.string_of(ALNUM, 0..6));
+        if !KEYWORDS.contains(&s.to_ascii_lowercase().as_str()) {
+            return s;
+        }
+    }
 }
 
-fn attr_name() -> impl Strategy<Value = String> {
-    // Lowercase attributes, optionally with the paper's `#`.
-    "[a-z][a-z0-9]{0,4}#?".prop_filter("not a keyword", |s| {
-        !KEYWORDS.contains(&s.trim_end_matches('#').to_ascii_lowercase().as_str())
-    })
+/// `[a-z][a-z0-9]{0,4}#?`, never a keyword (modulo the trailing `#`).
+fn attr_name(g: &mut Gen) -> String {
+    loop {
+        let mut s = g.string_of(LOWER, 1..2);
+        s.push_str(&g.string_of(LOWER_NUM, 0..5));
+        if g.bool(0.5) {
+            s.push('#');
+        }
+        if !KEYWORDS.contains(&s.trim_end_matches('#').to_ascii_lowercase().as_str()) {
+            return s;
+        }
+    }
 }
 
-fn classref() -> impl Strategy<Value = ClassRef> {
-    (proptest::option::of(ident()), ident())
-        .prop_map(|(subdb, name)| ClassRef { subdb, name })
+fn classref(g: &mut Gen) -> ClassRef {
+    ClassRef { subdb: g.option(ident), name: ident(g) }
 }
 
-fn literal() -> impl Strategy<Value = Literal> {
-    prop_oneof![
-        (-1000i64..1000).prop_map(Literal::Int),
+fn literal(g: &mut Gen) -> Literal {
+    match g.range(0..3) {
+        0 => Literal::Int(g.range(-1000i64..1000)),
         // Reals with a fractional part so they don't print as integers.
-        (-1000i64..1000).prop_map(|n| Literal::Real(n as f64 + 0.5)),
-        "[a-z '!#]{0,8}".prop_map(Literal::Str),
-    ]
-}
-
-fn cmp_op() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Neq),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
-}
-
-fn pred() -> impl Strategy<Value = Pred> {
-    let leaf = (attr_name(), cmp_op(), literal())
-        .prop_map(|(attr, op, value)| Pred::Cmp { attr, op, value });
-    leaf.prop_recursive(3, 12, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Pred::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
-            inner.prop_map(|p| Pred::Not(Box::new(p))),
-        ]
-    })
-}
-
-fn item() -> impl Strategy<Value = Item> {
-    let class = (classref(), proptest::option::of(pred()))
-        .prop_map(|(class, cond)| Item::Class { class, cond });
-    class.prop_recursive(2, 8, 3, |inner| {
-        (
-            inner.clone(),
-            proptest::collection::vec((pat_op(), inner), 0..3),
-        )
-            .prop_map(|(first, rest)| Item::Group(Seq { first: Box::new(first), rest }))
-    })
-}
-
-fn pat_op() -> impl Strategy<Value = PatOp> {
-    prop_oneof![Just(PatOp::Assoc), Just(PatOp::NonAssoc)]
-}
-
-fn seq() -> impl Strategy<Value = Seq> {
-    (item(), proptest::collection::vec((pat_op(), item()), 0..4))
-        .prop_map(|(first, rest)| Seq { first: Box::new(first), rest })
-}
-
-fn context() -> impl Strategy<Value = ContextExpr> {
-    (
-        seq(),
-        proptest::option::of(proptest::option::of(1u32..9)),
-    )
-        .prop_map(|(seq, closure)| ContextExpr {
-            seq,
-            closure: closure.map(|iterations| ClosureSpec { iterations }),
-        })
-}
-
-fn where_cond() -> impl Strategy<Value = WhereCond> {
-    prop_oneof![
-        (
-            prop_oneof![
-                Just(AggFunc::Count),
-                Just(AggFunc::Sum),
-                Just(AggFunc::Avg),
-                Just(AggFunc::Min),
-                Just(AggFunc::Max),
-            ],
-            classref(),
-            proptest::option::of(attr_name()),
-            proptest::option::of(classref()),
-            cmp_op(),
-            literal(),
-        )
-            .prop_map(|(func, target, attr, by, op, value)| {
-                // SUM/AVG/MIN/MAX require an attribute (parser rule).
-                let attr = if func == AggFunc::Count {
-                    attr
-                } else {
-                    Some(attr.unwrap_or_else(|| "v".to_string()))
-                };
-                WhereCond::Agg { func, target, attr, by, op, value }
-            }),
-        (
-            classref(),
-            attr_name(),
-            cmp_op(),
-            prop_oneof![
-                (classref(), attr_name()).prop_map(|(c, a)| CmpRhs::Attr(c, a)),
-                literal().prop_map(CmpRhs::Lit),
-            ],
-        )
-            .prop_map(|(c, a, op, right)| WhereCond::Cmp { left: (c, a), op, right }),
-    ]
-}
-
-fn select_item() -> impl Strategy<Value = SelectItem> {
-    prop_oneof![
-        attr_name().prop_map(SelectItem::Attr),
-        ident().prop_map(SelectItem::Attr), // bare class names normalize to Attr
-        (classref(), proptest::collection::vec(attr_name(), 1..3))
-            .prop_map(|(c, attrs)| SelectItem::ClassAttrs(c, attrs)),
-    ]
-}
-
-fn query() -> impl Strategy<Value = Query> {
-    (
-        context(),
-        proptest::collection::vec(where_cond(), 0..3),
-        proptest::collection::vec(select_item(), 0..3),
-        proptest::collection::vec(ident(), 0..2),
-    )
-        .prop_map(|(context, where_, select, ops)| Query { context, where_, select, ops })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
-
-    #[test]
-    fn printed_queries_reparse_identically(q in query()) {
-        let printed = print_query(&q);
-        let parsed = Parser::parse_query(&printed)
-            .map_err(|e| TestCaseError::fail(format!("re-parse of `{printed}` failed: {e}")))?;
-        prop_assert_eq!(parsed, q, "round-trip mismatch for `{}`", printed);
+        1 => Literal::Real(g.range(-1000i64..1000) as f64 + 0.5),
+        _ => Literal::Str(g.string_of("abcdefghijklmnopqrstuvwxyz '!#", 0..9)),
     }
+}
 
-    /// The lexer never panics on arbitrary input (it may error).
-    #[test]
-    fn lexer_total(src in "\\PC{0,60}") {
+fn cmp_op(g: &mut Gen) -> CmpOp {
+    *g.choose(&[CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge])
+}
+
+fn pred(g: &mut Gen, depth: usize) -> Pred {
+    if depth == 0 || g.bool(0.5) {
+        return Pred::Cmp { attr: attr_name(g), op: cmp_op(g), value: literal(g) };
+    }
+    match g.range(0..3) {
+        0 => Pred::And(Box::new(pred(g, depth - 1)), Box::new(pred(g, depth - 1))),
+        1 => Pred::Or(Box::new(pred(g, depth - 1)), Box::new(pred(g, depth - 1))),
+        _ => Pred::Not(Box::new(pred(g, depth - 1))),
+    }
+}
+
+fn pat_op(g: &mut Gen) -> PatOp {
+    *g.choose(&[PatOp::Assoc, PatOp::NonAssoc])
+}
+
+fn item(g: &mut Gen, depth: usize) -> Item {
+    if depth == 0 || g.bool(0.6) {
+        return Item::Class { class: classref(g), cond: g.option(|g| pred(g, 3)) };
+    }
+    let first = item(g, depth - 1);
+    let rest = g.vec(0..3, |g| (pat_op(g), item(g, depth - 1)));
+    Item::Group(Seq { first: Box::new(first), rest })
+}
+
+fn seq(g: &mut Gen) -> Seq {
+    let first = item(g, 2);
+    let rest = g.vec(0..5, |g| (pat_op(g), item(g, 2)));
+    Seq { first: Box::new(first), rest }
+}
+
+fn context(g: &mut Gen) -> ContextExpr {
+    let seq = seq(g);
+    let closure = g.option(|g| ClosureSpec { iterations: g.option(|g| g.range(1u32..9)) });
+    ContextExpr { seq, closure }
+}
+
+fn where_cond(g: &mut Gen) -> WhereCond {
+    if g.bool(0.5) {
+        let func =
+            *g.choose(&[AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max]);
+        // SUM/AVG/MIN/MAX require an attribute (parser rule).
+        let attr = match (func, g.option(attr_name)) {
+            (AggFunc::Count, attr) => attr,
+            (_, attr) => Some(attr.unwrap_or_else(|| "v".to_string())),
+        };
+        WhereCond::Agg {
+            func,
+            target: classref(g),
+            attr,
+            by: g.option(classref),
+            op: cmp_op(g),
+            value: literal(g),
+        }
+    } else {
+        let right = if g.bool(0.5) {
+            CmpRhs::Attr(classref(g), attr_name(g))
+        } else {
+            CmpRhs::Lit(literal(g))
+        };
+        WhereCond::Cmp { left: (classref(g), attr_name(g)), op: cmp_op(g), right }
+    }
+}
+
+fn select_item(g: &mut Gen) -> SelectItem {
+    match g.range(0..3) {
+        0 => SelectItem::Attr(attr_name(g)),
+        1 => SelectItem::Attr(ident(g)), // bare class names normalize to Attr
+        _ => SelectItem::ClassAttrs(classref(g), g.vec(1..3, attr_name)),
+    }
+}
+
+fn query(g: &mut Gen) -> Query {
+    Query {
+        context: context(g),
+        where_: g.vec(0..3, where_cond),
+        select: g.vec(0..3, select_item),
+        ops: g.vec(0..2, ident),
+    }
+}
+
+fn assert_round_trips(q: &Query) {
+    let printed = print_query(q);
+    match Parser::parse_query(&printed) {
+        Ok(parsed) => assert_eq!(&parsed, q, "round-trip mismatch for `{printed}`"),
+        Err(e) => panic!("re-parse of `{printed}` failed: {e}"),
+    }
+}
+
+#[test]
+fn printed_queries_reparse_identically() {
+    check("printed_queries_reparse_identically", 256, |g| {
+        assert_round_trips(&query(g));
+    });
+}
+
+/// The lexer never panics on arbitrary input (it may error).
+#[test]
+fn lexer_total() {
+    check("lexer_total", 256, |g| {
+        let src = g.printable_string(0..60);
         let _ = dood_oql::lexer::lex(&src);
-    }
+    });
+}
 
-    /// The parser never panics on arbitrary token soup.
-    #[test]
-    fn parser_total(src in "[A-Za-z0-9_#*!{}\\[\\]().,:^<>= ']{0,60}") {
+/// The parser never panics on arbitrary token soup.
+#[test]
+fn parser_total() {
+    check("parser_total", 256, |g| {
+        let src = g.string_of("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_#*!{}[]().,:^<>= '", 0..60);
         let _ = Parser::parse_query(&src);
         let _ = Parser::parse_context_expr(&src);
-    }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Pinned regressions from the retired proptest suite
+// (formerly crates/oql/tests/roundtrip.proptest-regressions).
+// ---------------------------------------------------------------------
+
+/// The lexer must survive multi-byte UTF-8 input (shrunk case: `"Σ"`).
+#[test]
+fn regression_lexer_multibyte_input() {
+    let _ = dood_oql::lexer::lex("Σ");
+    let _ = Parser::parse_query("Σ");
+}
+
+/// A deeply nested non-associated group with predicates on several levels,
+/// plus qualified WHERE/SELECT clauses — once shrunk from a printer/parser
+/// mismatch.
+#[test]
+fn regression_nested_nonassoc_group_roundtrips() {
+    let cmp = |attr: &str, op: CmpOp, value: Literal| Pred::Cmp {
+        attr: attr.to_string(),
+        op,
+        value,
+    };
+    let q = Query {
+        context: ContextExpr {
+            seq: Seq {
+                first: Box::new(Item::Class {
+                    class: ClassRef::base("A"),
+                    cond: Some(Pred::Or(
+                        Box::new(cmp("j8g52#", CmpOp::Lt, Literal::Real(997.5))),
+                        Box::new(Pred::Or(
+                            Box::new(cmp("nvde#", CmpOp::Gt, Literal::Str("q".into()))),
+                            Box::new(cmp("nb#", CmpOp::Ge, Literal::Real(434.5))),
+                        )),
+                    )),
+                }),
+                rest: vec![(
+                    PatOp::NonAssoc,
+                    Item::Group(Seq {
+                        first: Box::new(Item::Group(Seq {
+                            first: Box::new(Item::Class {
+                                class: ClassRef::base("EMc"),
+                                cond: Some(Pred::Or(
+                                    Box::new(Pred::Or(
+                                        Box::new(Pred::Or(
+                                            Box::new(cmp(
+                                                "je#",
+                                                CmpOp::Neq,
+                                                Literal::Real(523.5),
+                                            )),
+                                            Box::new(cmp(
+                                                "wvyx#",
+                                                CmpOp::Le,
+                                                Literal::Str("!d #!'".into()),
+                                            )),
+                                        )),
+                                        Box::new(cmp("wy#", CmpOp::Le, Literal::Real(-689.5))),
+                                    )),
+                                    Box::new(Pred::Not(Box::new(Pred::And(
+                                        Box::new(cmp("z#", CmpOp::Lt, Literal::Real(-60.5))),
+                                        Box::new(cmp(
+                                            "pi#",
+                                            CmpOp::Gt,
+                                            Literal::Str("uaog".into()),
+                                        )),
+                                    )))),
+                                )),
+                            }),
+                            rest: vec![],
+                        })),
+                        rest: vec![(
+                            PatOp::NonAssoc,
+                            Item::Class { class: ClassRef::base("EI"), cond: None },
+                        )],
+                    }),
+                )],
+            },
+            closure: None,
+        },
+        where_: vec![
+            WhereCond::Cmp {
+                left: (ClassRef::base("R"), "l".into()),
+                op: CmpOp::Gt,
+                right: CmpRhs::Lit(Literal::Str("'!'".into())),
+            },
+            WhereCond::Cmp {
+                left: (ClassRef::qualified("PdOPn", "DqQ26H"), "j".into()),
+                op: CmpOp::Eq,
+                right: CmpRhs::Lit(Literal::Int(-418)),
+            },
+        ],
+        select: vec![
+            SelectItem::ClassAttrs(
+                ClassRef::qualified("I", "M59CV"),
+                vec!["a99#".into(), "vg0".into()],
+            ),
+            SelectItem::ClassAttrs(ClassRef::base("AB"), vec!["ur".into()]),
+        ],
+        ops: vec!["Eks".into()],
+    };
+    assert_round_trips(&q);
 }

@@ -9,8 +9,7 @@ use dood_core::ids::Oid;
 use dood_core::schema::{Schema, SchemaBuilder};
 use dood_core::value::{DType, Value};
 use dood_store::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dood_core::rng::Rng;
 
 /// Build the CAD schema: `Part` with a `Component` self-aggregation, a
 /// `Supplier` with an `Supplies` association, and cost/name attributes.
@@ -53,7 +52,7 @@ impl BomShape {
 /// Build a BOM database. Returns the database and the root part OIDs.
 /// Deterministic in `seed`.
 pub fn build_bom(shape: BomShape, seed: u64) -> (Database, Vec<Oid>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut db = Database::new(schema());
     let part = db.schema().class_by_name("Part").unwrap();
     let component = db.schema().own_link_by_name(part, "Component").unwrap();
@@ -72,7 +71,7 @@ pub fn build_bom(shape: BomShape, seed: u64) -> (Database, Vec<Oid>) {
         for &parent in &level {
             for f in 0..shape.fanout {
                 let child = if !next.is_empty()
-                    && rng.random_range(0..1000) < shape.share_per_mille
+                    && rng.random_range(0u32..1000) < shape.share_per_mille
                 {
                     next[rng.random_range(0..next.len())]
                 } else {

@@ -7,8 +7,7 @@ use dood_core::ids::Oid;
 use dood_core::schema::{Schema, SchemaBuilder};
 use dood_core::value::{DType, Value};
 use dood_store::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dood_core::rng::Rng;
 
 /// Build the company schema.
 pub fn schema() -> Schema {
@@ -89,7 +88,7 @@ pub struct Company {
 /// employee reports to an earlier-created employee), so org-chart closures
 /// terminate. Deterministic in `seed`.
 pub fn populate(size: CompanySize, seed: u64) -> (Database, Company) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut db = Database::new(schema());
     let employee = db.schema().class_by_name("Employee").unwrap();
     let manager = db.schema().class_by_name("Manager").unwrap();
@@ -108,7 +107,7 @@ pub fn populate(size: CompanySize, seed: u64) -> (Database, Company) {
     }
     for i in 0..size.projects {
         let p = db.new_object(project).unwrap();
-        db.set_attr(p, "budget", Value::Int(rng.random_range(10..1000))).unwrap();
+        db.set_attr(p, "budget", Value::Int(rng.random_range(10i64..1000))).unwrap();
         if !com.departments.is_empty() {
             let d = com.departments[i % com.departments.len()];
             db.associate(sponsors, d, p).unwrap();
@@ -118,7 +117,7 @@ pub fn populate(size: CompanySize, seed: u64) -> (Database, Company) {
     for i in 0..size.employees {
         let e = db.new_object(employee).unwrap();
         db.set_attr(e, "ename", Value::str(format!("emp-{i}"))).unwrap();
-        db.set_attr(e, "salary", Value::Int(rng.random_range(30..200) * 1000)).unwrap();
+        db.set_attr(e, "salary", Value::Int(rng.random_range(30i64..200) * 1000)).unwrap();
         if !com.departments.is_empty() {
             let d = com.departments[rng.random_range(0..com.departments.len())];
             db.associate(works_in, e, d).unwrap();
@@ -134,7 +133,7 @@ pub fn populate(size: CompanySize, seed: u64) -> (Database, Company) {
             let boss = com.employees[rng.random_range(0..com.employees.len())];
             db.associate(reports, e, boss).unwrap();
         }
-        if rng.random_range(0..1000) < size.manager_per_mille {
+        if rng.random_range(0u32..1000) < size.manager_per_mille {
             com.managers.push(db.specialize(e, manager).unwrap());
         }
         com.employees.push(e);

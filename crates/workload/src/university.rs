@@ -10,8 +10,7 @@ use dood_core::ids::{ClassId, Oid};
 use dood_core::schema::{Schema, SchemaBuilder};
 use dood_core::value::{DType, Value};
 use dood_store::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dood_core::rng::Rng;
 
 /// Build the Fig. 2.1 schema.
 pub fn schema() -> Schema {
@@ -195,7 +194,7 @@ pub fn populate(size: Size, seed: u64) -> Database {
 
 /// Populate and return object handles too.
 pub fn populate_with_handles(size: Size, seed: u64) -> (Database, Population) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut db = Database::new(schema());
     let mut pop = Population::default();
 
@@ -238,10 +237,10 @@ pub fn populate_with_handles(size: Size, seed: u64) -> (Database, Population) {
             let number = 1000 + (rng.random_range(0..70) * 100) as i64 + ci as i64 % 100;
             db.set_attr(c, "c#", Value::Int(number)).unwrap();
             db.set_attr(c, "title", Value::str(format!("course-{di}-{ci}"))).unwrap();
-            db.set_attr(c, "credit_hours", Value::Int(rng.random_range(1..=4)))
+            db.set_attr(c, "credit_hours", Value::Int(rng.random_range(1i64..=4)))
                 .unwrap();
             db.associate(course_dept, c, d).unwrap();
-            if !pop.courses.is_empty() && rng.random_range(0..1000) < size.prereq_per_mille {
+            if !pop.courses.is_empty() && rng.random_range(0u32..1000) < size.prereq_per_mille {
                 let p = pop.courses[rng.random_range(0..pop.courses.len())];
                 db.associate(prereq, c, p).unwrap();
             }
@@ -298,7 +297,7 @@ pub fn populate_with_handles(size: Size, seed: u64) -> (Database, Population) {
             db.associate(enrolls, st, s).unwrap();
         }
         pop.students.push(st);
-        if rng.random_range(0..1000) < size.grad_per_mille {
+        if rng.random_range(0u32..1000) < size.grad_per_mille {
             let g = db.specialize(st, grad).unwrap();
             db.set_attr(g, "GPA", Value::Real(2.0 + rng.random_range(0..20) as f64 / 10.0))
                 .unwrap();

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Verify the workspace is hermetic: it must build and test fully offline,
+# and the lockfile must contain no registry (crates.io) packages — only the
+# workspace's own path crates.
+#
+# Usage: scripts/check_hermetic.sh
+# Run from anywhere; operates on the workspace containing this script.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== check_hermetic: lockfile must have no registry packages =="
+cargo generate-lockfile --offline
+if grep -q 'registry+' Cargo.lock; then
+    echo "FAIL: Cargo.lock references registry packages:" >&2
+    grep -B2 'registry+' Cargo.lock >&2
+    exit 1
+fi
+echo "ok: dependency graph is workspace-only"
+
+echo "== check_hermetic: offline release build =="
+cargo build --offline --release --workspace
+
+echo "== check_hermetic: offline test suite =="
+cargo test --offline -q
+
+echo "== check_hermetic: offline bench + example builds =="
+cargo build --offline --benches --examples --workspace
+
+echo "check_hermetic: PASS"

@@ -130,7 +130,7 @@ fn externally_registered_subdb_queries() {
         Intension::new(vec![SlotDef::base("Teacher", teacher)]),
     );
     sd.insert(ExtPattern::new(vec![Some(pop.teachers[0])]));
-    let mut engine = RuleEngine::new(db);
+    let engine = RuleEngine::new(db);
     // No rule derives Handpicked; seed the registry through a rule that
     // reads it? Simpler: the registry is engine-internal, so emulate via a
     // rule with the same effect and compare against direct OQL.

@@ -5,7 +5,6 @@ mod common;
 
 use common::{assert_patterns, s};
 use dood::core::subdb::{PatternType, SubdbRegistry};
-use dood::core::value::Value;
 use dood::oql::Oql;
 use dood::workload::figures::fig_3_1;
 use dood::workload::university;

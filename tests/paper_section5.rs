@@ -112,7 +112,7 @@ fn grad_chain_db() -> (Database, [Oid; 3]) {
     let enrolls = s.own_link_by_name(student, "Enrolls").unwrap();
     let sc = s.own_link_by_name(section, "Course").unwrap();
 
-    let mut mk_grad = |i: usize, db: &mut Database| {
+    let mk_grad = |i: usize, db: &mut Database| {
         let p = db.new_object(person).unwrap();
         db.set_attr(p, "name", Value::str(format!("g{i}"))).unwrap();
         db.set_attr(p, "SS", Value::str(format!("ss{i}"))).unwrap();
