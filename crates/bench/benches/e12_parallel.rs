@@ -1,0 +1,27 @@
+//! E12 — parallel evaluation scaling: the E1 association workload at a
+//! ~100k-object population and the E7 grouped-aggregation workload, each
+//! at 1/2/4/8 threads (`DOOD_THREADS`).
+
+use dood_bench::harness::Harness;
+use dood_bench::{aggregate_query, assoc_query, parallel_fixture, with_threads};
+
+fn main() {
+    let mut h = Harness::new("e12_parallel");
+    let (db, reg) = parallel_fixture();
+    eprintln!(
+        "e12 workload: {} objects, {} association patterns",
+        db.object_count(),
+        assoc_query(&db, &reg)
+    );
+    for threads in [1usize, 2, 4, 8] {
+        with_threads(threads, || {
+            h.bench(&format!("assoc/{threads}t"), || assoc_query(&db, &reg));
+        });
+    }
+    for threads in [1usize, 2, 4, 8] {
+        with_threads(threads, || {
+            h.bench(&format!("aggregate/{threads}t"), || aggregate_query(&db, 10));
+        });
+    }
+    h.finish();
+}

@@ -1,4 +1,4 @@
-//! The evaluation report: one table per experiment (E1–E8 of DESIGN.md),
+//! The evaluation report: one table per experiment (E1–E8 and E12 of DESIGN.md),
 //! printed in the form recorded in EXPERIMENTS.md.
 //!
 //! ```sh
@@ -34,7 +34,12 @@ fn report_from_json(paths: &[String]) -> usize {
     for path in paths {
         match std::fs::read_to_string(path) {
             Ok(text) => {
-                for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                // Skip blank lines and the `#` provenance header that
+                // scripts/bench_snapshot.sh prepends to BENCH_SEED.json.
+                for line in text.lines().filter(|l| {
+                    let l = l.trim();
+                    !l.is_empty() && !l.starts_with('#')
+                }) {
                     match Record::from_json_line(line) {
                         Some(r) => records.push(r),
                         None => {
@@ -245,6 +250,24 @@ fn main() {
         let tn = time_us(5, || dood_datalog::naive(&p, &edb).0.total());
         let ts = time_us(5, || dood_datalog::seminaive(&p, &edb).0.total());
         println!("| {n} | {facts} | {tn:.0} | {ts:.0} | {:.1}x |", tn / ts);
+    }
+
+    // ---------------- E12 ----------------
+    header("E12 — parallel evaluation scaling (reduced scale; full curve: bench e12_parallel)");
+    println!("| threads | assoc (us) | aggregate (us) |");
+    println!("|---|---|---|");
+    {
+        let db = university::populate(university::Size::scaled(8), 42);
+        let reg = dood_core::subdb::SubdbRegistry::new();
+        let n1 = with_threads(1, || assoc_query(&db, &reg));
+        for threads in [1usize, 2, 4] {
+            with_threads(threads, || {
+                assert_eq!(assoc_query(&db, &reg), n1, "thread count must not change results");
+                let ta = time_us(5, || assoc_query(&db, &reg));
+                let tg = time_us(5, || aggregate_query(&db, 10));
+                println!("| {threads} | {ta:.0} | {tg:.0} |");
+            });
+        }
     }
 
     println!("\nDone.");

@@ -100,6 +100,10 @@ impl Record {
 pub struct Harness {
     group: String,
     filter: Option<String>,
+    /// `DOOD_BENCH_SMOKE=1`: one sample of one iteration per benchmark —
+    /// a CI-speed pass that exercises every measured path without the
+    /// warmup/sampling budget. Timings are not meaningful in this mode.
+    smoke: bool,
     records: Vec<Record>,
 }
 
@@ -107,8 +111,9 @@ impl Harness {
     /// Start a harness for `group`, reading the CLI filter from `argv`.
     pub fn new(group: &str) -> Self {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        println!("# bench group {group}");
-        Harness { group: group.to_string(), filter, records: Vec::new() }
+        let smoke = std::env::var("DOOD_BENCH_SMOKE").is_ok_and(|v| v == "1");
+        println!("# bench group {group}{}", if smoke { " (smoke)" } else { "" });
+        Harness { group: group.to_string(), filter, smoke, records: Vec::new() }
     }
 
     fn skipped(&self, name: &str) -> bool {
@@ -121,6 +126,12 @@ impl Harness {
     /// Benchmark `f`, batching iterations against clock resolution.
     pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
         if self.skipped(name) {
+            return;
+        }
+        if self.smoke {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.record(name, 1, vec![t.elapsed().as_nanos() as f64]);
             return;
         }
         // Warmup, and estimate the per-iteration cost.
@@ -166,6 +177,13 @@ impl Harness {
         mut routine: impl FnMut(S) -> T,
     ) {
         if self.skipped(name) {
+            return;
+        }
+        if self.smoke {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.record(name, 1, vec![t.elapsed().as_nanos() as f64]);
             return;
         }
         // One warmup iteration (these routines are typically expensive).

@@ -1,4 +1,4 @@
-//! Shared setup for the evaluation suite (experiments E1–E8 of DESIGN.md).
+//! Shared setup for the evaluation suite (experiments E1–E8 and E12 of DESIGN.md).
 //!
 //! Each experiment has a bench target (`benches/`, running on the in-repo
 //! [`harness`]) and a row-printing entry in the `report` binary; both call
@@ -272,6 +272,41 @@ pub fn aggregate_query(db: &Database, threshold: i64) -> usize {
         .expect("E7 query")
         .subdb
         .len()
+}
+
+/// E12 population scale: the smallest factor that pushes the university
+/// database past 100k objects (factor 1 ≈ 2.5k objects).
+pub const PARALLEL_FACTOR: usize = 41;
+
+/// E12 fixture: the E1 association workload's database at
+/// [`PARALLEL_FACTOR`] scale. No Datalog baseline — the comparison axis is
+/// the thread count, not the engine.
+pub fn parallel_fixture() -> (Database, SubdbRegistry) {
+    let db = university::populate(university::Size::scaled(PARALLEL_FACTOR), 42);
+    (db, SubdbRegistry::new())
+}
+
+/// E12: the E1 association query against an explicit database; returns the
+/// pattern count.
+pub fn assoc_query(db: &Database, registry: &SubdbRegistry) -> usize {
+    Oql::new()
+        .query(db, registry, "context Teacher * Section * Course")
+        .expect("E12 query")
+        .subdb
+        .len()
+}
+
+/// Run `f` with `DOOD_THREADS` set to `n`, restoring the prior value after
+/// (the pool reads the variable on every construction).
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = std::env::var("DOOD_THREADS").ok();
+    std::env::set_var("DOOD_THREADS", n.to_string());
+    let out = f();
+    match prev {
+        Some(v) => std::env::set_var("DOOD_THREADS", v),
+        None => std::env::remove_var("DOOD_THREADS"),
+    }
+    out
 }
 
 /// E8 fixture: chain EDB for naive-vs-semi-naive.

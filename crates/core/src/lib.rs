@@ -14,12 +14,15 @@
 //! * [`fxhash`] — in-tree Fx hashing for integer-keyed hot maps.
 //! * [`rng`] / [`propcheck`] — in-tree seedable PRNG and property-test
 //!   driver, keeping the workspace free of external dependencies.
+//! * [`pool`] — std-only work-chunking thread pool backing the parallel
+//!   evaluation paths (`DOOD_THREADS` override, deterministic merge order).
 
 #![warn(missing_docs)]
 
 pub mod error;
 pub mod fxhash;
 pub mod ids;
+pub mod pool;
 pub mod propcheck;
 pub mod rng;
 pub mod schema;

@@ -1,0 +1,279 @@
+//! A hermetic, std-only work-chunking thread pool for the parallel
+//! evaluation paths (DESIGN.md §6).
+//!
+//! The pool is deliberately minimal: [`ChunkPool::par_chunk_map`] splits a
+//! slice into contiguous chunks, hands chunk *indices* to scoped
+//! `std::thread` workers through an atomic cursor, and returns the per-chunk
+//! results **in chunk order**. Because chunk boundaries depend only on input
+//! length (never on thread count or scheduling), a caller that concatenates
+//! or merges the returned buffers observes the same result at every thread
+//! count — determinism by merge order, property-tested in the evaluators.
+//!
+//! Threads are scoped (`std::thread::scope`), so borrowed data (`&Database`,
+//! `&Evaluator`) flows into workers without `'static` bounds or `Arc`
+//! plumbing, and a worker panic propagates to the caller on join.
+//!
+//! Tuning:
+//! * `DOOD_THREADS` — overrides the worker count for every pool constructed
+//!   via [`ChunkPool::from_env`] (`1` forces the sequential path);
+//! * [`ChunkPool::cutoff`] — inputs at or below this length run inline on
+//!   the calling thread (spawning threads for tiny inputs costs more than
+//!   the work itself; the cutoff is swept by ablation E13).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default input-length cutoff below which work runs inline. Chosen by the
+/// E13 ablation sweep: thread spawn costs tens of microseconds, so inputs
+/// that evaluate faster than that must not fan out.
+pub const DEFAULT_CUTOFF: usize = 256;
+
+/// How many chunks each worker should get on average, so that chunks are
+/// small enough to rebalance skewed work but large enough to amortize the
+/// cursor increment.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// The machine's available parallelism, cached for the process lifetime.
+fn hardware_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// The configured worker count: `DOOD_THREADS` if set to a positive
+/// integer, else the machine's available parallelism. Read on every call so
+/// benchmarks can vary the override between runs.
+pub fn configured_threads() -> usize {
+    match std::env::var("DOOD_THREADS") {
+        Ok(s) => s.trim().parse().ok().filter(|&n| n >= 1).unwrap_or_else(hardware_threads),
+        Err(_) => hardware_threads(),
+    }
+}
+
+/// A work-chunking pool: a worker count plus a sequential-fallback cutoff.
+/// Cheap to construct (two integers); workers are spawned per call and
+/// scoped to it.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkPool {
+    threads: usize,
+    cutoff: usize,
+}
+
+impl ChunkPool {
+    /// A pool sized by [`configured_threads`] (`DOOD_THREADS` override,
+    /// hardware default).
+    pub fn from_env() -> Self {
+        Self::with_threads(configured_threads())
+    }
+
+    /// A pool with an explicit worker count (benchmarks, tests).
+    pub fn with_threads(threads: usize) -> Self {
+        ChunkPool { threads: threads.max(1), cutoff: DEFAULT_CUTOFF }
+    }
+
+    /// Set the sequential-fallback cutoff: inputs of at most this length
+    /// run inline on the calling thread.
+    pub fn cutoff(mut self, cutoff: usize) -> Self {
+        self.cutoff = cutoff;
+        self
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether an input of `len` items would run on the sequential path.
+    pub fn is_sequential(&self, len: usize) -> bool {
+        self.threads <= 1 || len <= self.cutoff
+    }
+
+    /// The chunk length used for an input of `len` items. Depends only on
+    /// the input length, never on the thread count, so chunk boundaries —
+    /// and therefore chunk-local results — are identical at every thread
+    /// count. The divisor is the *hardware* thread ceiling to keep the
+    /// geometry stable under `DOOD_THREADS` overrides.
+    fn chunk_len(&self, len: usize) -> usize {
+        let target_chunks = hardware_threads().max(2) * CHUNKS_PER_THREAD;
+        len.div_ceil(target_chunks).max(1)
+    }
+
+    /// Map `f` over contiguous chunks of `items`, returning per-chunk
+    /// results in chunk order. Sequential (inline, no spawning) when the
+    /// pool has one thread or the input is at or below the cutoff;
+    /// otherwise chunks are executed by up-to-`threads` scoped workers
+    /// pulling indices from an atomic cursor.
+    pub fn par_chunk_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&[T]) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        if self.is_sequential(items.len()) {
+            return vec![f(items)];
+        }
+        let chunk_len = self.chunk_len(items.len());
+        let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
+        if chunks.len() == 1 {
+            return vec![f(chunks[0])];
+        }
+        let workers = self.threads.min(chunks.len());
+        let cursor = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let chunks = &chunks;
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(chunk) = chunks.get(i) else { break };
+                            out.push((i, f(chunk)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        });
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Map `f` over the items of a slice — one work unit per item — and
+    /// return results in item order. For small sets of coarse-grained jobs
+    /// (e.g. one rule application each); the cutoff does not apply, only
+    /// `threads <= 1` or a single item short-circuits to inline execution.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let workers = self.threads.min(items.len());
+        let cursor = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            out.push((i, f(item)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        });
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+impl Default for ChunkPool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        let pool = ChunkPool::with_threads(4).cutoff(0);
+        let out: Vec<usize> = pool.par_chunk_map(&[] as &[u32], |c| c.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sequential_path_is_one_chunk() {
+        let pool = ChunkPool::with_threads(1);
+        let items: Vec<u32> = (0..100).collect();
+        let out = pool.par_chunk_map(&items, |c| c.to_vec());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], items);
+    }
+
+    #[test]
+    fn cutoff_keeps_small_inputs_inline() {
+        let pool = ChunkPool::with_threads(8).cutoff(1000);
+        let items: Vec<u32> = (0..100).collect();
+        assert!(pool.is_sequential(items.len()));
+        assert_eq!(pool.par_chunk_map(&items, |c| c.len()), vec![100]);
+    }
+
+    #[test]
+    fn concatenated_chunks_equal_sequential_map() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for threads in [2, 3, 4, 8] {
+            let pool = ChunkPool::with_threads(threads).cutoff(0);
+            let par: Vec<u64> = pool
+                .par_chunk_map(&items, |c| c.iter().map(|x| x * 3).collect::<Vec<_>>())
+                .concat();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_geometry_is_thread_count_independent() {
+        let items: Vec<u32> = (0..5_000).collect();
+        let lens =
+            |t: usize| ChunkPool::with_threads(t).cutoff(0).par_chunk_map(&items, |c| c.len());
+        let base = lens(2);
+        assert_eq!(base.iter().sum::<usize>(), items.len());
+        for t in [3, 4, 8] {
+            assert_eq!(lens(t), base, "chunk layout must not depend on threads");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<u32> = (0..257).collect();
+        for threads in [1, 2, 4] {
+            let pool = ChunkPool::with_threads(threads);
+            let out = pool.par_map(&items, |&x| x + 1);
+            assert_eq!(out, (1..258).collect::<Vec<u32>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pool worker panicked")]
+    fn worker_panic_propagates() {
+        let pool = ChunkPool::with_threads(2).cutoff(0);
+        let items: Vec<u32> = (0..1000).collect();
+        pool.par_chunk_map(&items, |c| {
+            if c.iter().any(|&x| x == 700) {
+                panic!("boom");
+            }
+            c.len()
+        });
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

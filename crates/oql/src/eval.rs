@@ -14,8 +14,10 @@ use dood_core::ids::Oid;
 use dood_core::schema::ResolvedAttr;
 use dood_core::subdb::{ExtPattern, Intension, SlotDef, SlotSource, Subdatabase, SubdbRegistry};
 use dood_core::value::Value;
+use dood_core::pool::ChunkPool;
 use dood_store::Database;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// A compiled intra-class predicate: attribute references are resolved.
 #[derive(Debug, Clone)]
@@ -84,20 +86,38 @@ struct DerivedAdj {
 
 impl DerivedAdj {
     fn build(sd: &Subdatabase, a: usize, b: usize) -> Self {
-        let mut adj = DerivedAdj::default();
+        let cap = sd.len();
+        let mut adj = DerivedAdj {
+            fwd: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+            rev: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+        };
+        // Patterns iterate in BTreeSet order, so per-key pushes arrive
+        // ascending on the forward side whenever slot `a` precedes the
+        // pattern-order tiebreak; track out-of-order or duplicate inserts
+        // and skip the sort+dedup pass when none occurred.
+        let mut fwd_dirty = false;
+        let mut rev_dirty = false;
         for p in sd.patterns() {
             if let (Some(x), Some(y)) = (p.get(a), p.get(b)) {
-                adj.fwd.entry(x).or_default().push(y);
-                adj.rev.entry(y).or_default().push(x);
+                let v = adj.fwd.entry(x).or_default();
+                fwd_dirty |= v.last().is_some_and(|&last| last >= y);
+                v.push(y);
+                let v = adj.rev.entry(y).or_default();
+                rev_dirty |= v.last().is_some_and(|&last| last >= x);
+                v.push(x);
             }
         }
-        for v in adj.fwd.values_mut() {
-            v.sort_unstable();
-            v.dedup();
+        if fwd_dirty {
+            for v in adj.fwd.values_mut() {
+                v.sort_unstable();
+                v.dedup();
+            }
         }
-        for v in adj.rev.values_mut() {
-            v.sort_unstable();
-            v.dedup();
+        if rev_dirty {
+            for v in adj.rev.values_mut() {
+                v.sort_unstable();
+                v.dedup();
+            }
         }
         adj
     }
@@ -129,12 +149,15 @@ pub struct Evaluator<'a> {
     /// Per slot: compiled intra-class condition.
     conds: Vec<Option<CPred>>,
     /// Adjacency caches for derived edges, keyed by edge index;
-    /// `usize::MAX` keys the closure cycle edge.
-    derived_adj: FxHashMap<usize, DerivedAdj>,
+    /// `usize::MAX` keys the closure cycle edge. `Arc`-shared: edges over
+    /// the same (subdatabase, slot-pair) reuse one build.
+    derived_adj: FxHashMap<usize, Arc<DerivedAdj>>,
     /// Per slot: an index-backed candidate pre-filter (E10): present when
     /// the slot's condition is a single comparison on a directly-declared
     /// attribute for which the store has an ordered index.
     index_scan: Vec<Option<IndexScan>>,
+    /// Thread pool for the partitioned span join (DESIGN.md §6).
+    pool: ChunkPool,
 }
 
 /// A pre-resolved index range scan for a slot condition.
@@ -207,20 +230,33 @@ impl<'a> Evaluator<'a> {
                 None => None,
             });
         }
+        // Adjacency builds are cached per (subdatabase, slot-pair) for the
+        // lifetime of this evaluation: several edges (including the closure
+        // cycle edge) routinely reference the same pair.
         let mut derived_adj = FxHashMap::default();
-        for (i, e) in ctx.edges.iter().enumerate() {
-            if let REdgeKind::Derived { subdb, a, b } = &e.kind {
-                let sd = registry
-                    .subdb(subdb)
-                    .ok_or_else(|| QueryError::UnknownSubdb(subdb.clone()))?;
-                derived_adj.insert(i, DerivedAdj::build(sd, *a, *b));
+        let mut adj_cache: FxHashMap<(String, usize, usize), Arc<DerivedAdj>> =
+            FxHashMap::default();
+        let mut cached_build = |subdb: &String,
+                                a: usize,
+                                b: usize|
+         -> Result<Arc<DerivedAdj>, QueryError> {
+            if let Some(adj) = adj_cache.get(&(subdb.clone(), a, b)) {
+                return Ok(Arc::clone(adj));
             }
-        }
-        if let Some((_, REdgeKind::Derived { subdb, a, b })) = &ctx.closure {
             let sd = registry
                 .subdb(subdb)
                 .ok_or_else(|| QueryError::UnknownSubdb(subdb.clone()))?;
-            derived_adj.insert(usize::MAX, DerivedAdj::build(sd, *a, *b));
+            let adj = Arc::new(DerivedAdj::build(sd, a, b));
+            adj_cache.insert((subdb.clone(), a, b), Arc::clone(&adj));
+            Ok(adj)
+        };
+        for (i, e) in ctx.edges.iter().enumerate() {
+            if let REdgeKind::Derived { subdb, a, b } = &e.kind {
+                derived_adj.insert(i, cached_build(subdb, *a, *b)?);
+            }
+        }
+        if let Some((_, REdgeKind::Derived { subdb, a, b })) = &ctx.closure {
+            derived_adj.insert(usize::MAX, cached_build(subdb, *a, *b)?);
         }
         let index_scan = ctx
             .slots
@@ -243,12 +279,20 @@ impl<'a> Evaluator<'a> {
             conds,
             derived_adj,
             index_scan,
+            pool: ChunkPool::from_env(),
         })
     }
 
     /// Select the span-join planner (DESIGN.md ablation E9).
     pub fn with_planner(mut self, planner: PlannerMode) -> Self {
         self.planner = planner;
+        self
+    }
+
+    /// Replace the span-join thread pool (benchmarks / ablations; the
+    /// default is [`ChunkPool::from_env`]).
+    pub fn with_pool(mut self, pool: ChunkPool) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -387,6 +431,12 @@ impl<'a> Evaluator<'a> {
 
     /// Full inner join over the chain `[lo, hi)`, anchored at the smallest
     /// candidate set. Rows come back in slot order `lo..hi`.
+    ///
+    /// The anchor candidate set is partitioned into chunks evaluated by the
+    /// pool; per-chunk row buffers are concatenated in chunk order.
+    /// [`extend`](Self::extend) maps each input row to its extensions in
+    /// candidate order, so chunked-and-concatenated output is identical to
+    /// the sequential row order at every thread count.
     fn join_span(&self, lo: usize, hi: usize) -> Vec<Vec<Oid>> {
         debug_assert!(lo < hi);
         let anchor = match self.planner {
@@ -395,10 +445,26 @@ impl<'a> Evaluator<'a> {
                 .unwrap(),
             PlannerMode::Leftmost => lo,
         };
+        let cands = self.candidates(anchor);
+        if self.pool.is_sequential(cands.len()) {
+            return self.join_span_rows(&cands, lo, hi, anchor);
+        }
+        self.pool
+            .par_chunk_map(&cands, |chunk| self.join_span_rows(chunk, lo, hi, anchor))
+            .concat()
+    }
+
+    /// The span join restricted to a subset of the anchor's candidates.
+    fn join_span_rows(
+        &self,
+        cands: &[Oid],
+        lo: usize,
+        hi: usize,
+        anchor: usize,
+    ) -> Vec<Vec<Oid>> {
         // Rows are built as [anchor, anchor+1, …, hi-1, anchor-1, …, lo]
         // then reordered.
-        let mut rows: Vec<Vec<Oid>> =
-            self.candidates(anchor).into_iter().map(|o| vec![o]).collect();
+        let mut rows: Vec<Vec<Oid>> = cands.iter().map(|&o| vec![o]).collect();
         for to in anchor + 1..hi {
             let row_pos = to - anchor - 1; // previous slot's position
             rows = self.extend(rows, to - 1, to, to - 1, row_pos);

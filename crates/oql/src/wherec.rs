@@ -11,6 +11,7 @@ use crate::error::QueryError;
 use dood_core::error::ResolveError;
 use dood_core::fxhash::FxHashMap;
 use dood_core::ids::Oid;
+use dood_core::pool::ChunkPool;
 use dood_core::schema::{ResolvedAttr, Schema};
 use dood_core::subdb::{Intension, SlotSource, Subdatabase};
 use dood_core::value::Value;
@@ -55,6 +56,57 @@ pub fn slot_attr(
         }));
     }
     Ok(schema.resolve_attr(def.base, attr)?)
+}
+
+/// Compute one group's aggregate over its distinct target OIDs and test it
+/// against the threshold.
+fn agg_passes(
+    func: &AggFunc,
+    tattr: &Option<ResolvedAttr>,
+    targets: &BTreeSet<Oid>,
+    op: &crate::ast::CmpOp,
+    threshold: &Value,
+    db: &Database,
+) -> bool {
+    let agg: Value = match (func, tattr) {
+        (AggFunc::Count, None) => Value::Int(targets.len() as i64),
+        (f, attr_opt) => {
+            // Collect non-null attribute values of distinct targets (COUNT
+            // with an attribute counts non-null values).
+            let vals: Vec<f64> = targets
+                .iter()
+                .filter_map(|&o| {
+                    let a = attr_opt.as_ref().expect("parser enforces attr");
+                    db.attr_resolved(o, a).as_f64()
+                })
+                .collect();
+            match f {
+                AggFunc::Count => Value::Int(vals.len() as i64),
+                AggFunc::Sum => Value::Real(vals.iter().sum()),
+                AggFunc::Avg => {
+                    if vals.is_empty() {
+                        Value::Null
+                    } else {
+                        Value::Real(vals.iter().sum::<f64>() / vals.len() as f64)
+                    }
+                }
+                AggFunc::Min => vals
+                    .iter()
+                    .copied()
+                    .fold(None::<f64>, |m, v| Some(m.map_or(v, |x| x.min(v))))
+                    .map_or(Value::Null, Value::Real),
+                AggFunc::Max => vals
+                    .iter()
+                    .copied()
+                    .fold(None::<f64>, |m, v| Some(m.map_or(v, |x| x.max(v))))
+                    .map_or(Value::Null, Value::Real),
+            }
+        }
+    };
+    match agg.compare(threshold) {
+        Some(ord) => op.test(ord),
+        None => false,
+    }
 }
 
 /// Apply WHERE conditions (conjunctive), dropping non-satisfying patterns.
@@ -112,70 +164,55 @@ pub fn apply_where(
                     None => None,
                 };
                 // Accumulate per group: distinct target OIDs, then aggregate.
-                let mut groups: FxHashMap<Option<Oid>, BTreeSet<Oid>> = FxHashMap::default();
-                for p in sd.patterns() {
-                    let key = match bslot {
-                        Some(bs) => match p.get(bs) {
-                            Some(o) => Some(o),
-                            None => continue, // ungrouped pattern: cannot qualify
-                        },
-                        None => None,
-                    };
-                    if let Some(t) = p.get(tslot) {
-                        groups.entry(key).or_default().insert(t);
-                    } else {
-                        groups.entry(key).or_default();
+                // Accumulation runs chunk-parallel: each chunk of patterns
+                // builds a partial group map, merged by set union — union is
+                // commutative, so the merged groups are independent of chunk
+                // assignment and thread count.
+                let pool = ChunkPool::from_env();
+                let pats: Vec<_> = sd.patterns().collect();
+                let partials = pool.par_chunk_map(&pats, |chunk| {
+                    let mut groups: FxHashMap<Option<Oid>, BTreeSet<Oid>> =
+                        FxHashMap::default();
+                    for p in chunk {
+                        let key = match bslot {
+                            Some(bs) => match p.get(bs) {
+                                Some(o) => Some(o),
+                                None => continue, // ungrouped pattern: cannot qualify
+                            },
+                            None => None,
+                        };
+                        if let Some(t) = p.get(tslot) {
+                            groups.entry(key).or_default().insert(t);
+                        } else {
+                            groups.entry(key).or_default();
+                        }
+                    }
+                    groups
+                });
+                let mut partials = partials.into_iter();
+                let mut groups = partials.next().unwrap_or_default();
+                for partial in partials {
+                    for (key, targets) in partial {
+                        groups.entry(key).or_default().extend(targets);
                     }
                 }
                 let threshold = value.to_value();
-                let mut passes: FxHashMap<Option<Oid>, bool> = FxHashMap::default();
-                for (key, targets) in &groups {
-                    let agg: Value = match (func, &tattr) {
-                        (AggFunc::Count, None) => Value::Int(targets.len() as i64),
-                        (f, attr_opt) => {
-                            // Collect non-null attribute values of distinct
-                            // targets (COUNT with an attribute counts
-                            // non-null values).
-                            let vals: Vec<f64> = targets
-                                .iter()
-                                .filter_map(|&o| {
-                                    let a = attr_opt.as_ref().expect("parser enforces attr");
-                                    db.attr_resolved(o, a).as_f64()
-                                })
-                                .collect();
-                            match f {
-                                AggFunc::Count => Value::Int(vals.len() as i64),
-                                AggFunc::Sum => Value::Real(vals.iter().sum()),
-                                AggFunc::Avg => {
-                                    if vals.is_empty() {
-                                        Value::Null
-                                    } else {
-                                        Value::Real(vals.iter().sum::<f64>() / vals.len() as f64)
-                                    }
-                                }
-                                AggFunc::Min => vals
-                                    .iter()
-                                    .copied()
-                                    .fold(None::<f64>, |m, v| {
-                                        Some(m.map_or(v, |x| x.min(v)))
-                                    })
-                                    .map_or(Value::Null, Value::Real),
-                                AggFunc::Max => vals
-                                    .iter()
-                                    .copied()
-                                    .fold(None::<f64>, |m, v| {
-                                        Some(m.map_or(v, |x| x.max(v)))
-                                    })
-                                    .map_or(Value::Null, Value::Real),
-                            }
-                        }
-                    };
-                    let ok = match agg.compare(&threshold) {
-                        Some(ord) => op.test(ord),
-                        None => false,
-                    };
-                    passes.insert(*key, ok);
-                }
+                // Aggregates per group are independent; compute them
+                // chunk-parallel over a deterministically-ordered group list
+                // (the result map is key-addressed, so order is moot anyway).
+                let mut group_list: Vec<(Option<Oid>, BTreeSet<Oid>)> =
+                    groups.into_iter().collect();
+                group_list.sort_unstable_by_key(|(k, _)| *k);
+                let verdicts = pool.par_chunk_map(&group_list, |chunk| {
+                    chunk
+                        .iter()
+                        .map(|(key, targets)| {
+                            (*key, agg_passes(func, &tattr, targets, op, &threshold, db))
+                        })
+                        .collect::<Vec<_>>()
+                });
+                let passes: FxHashMap<Option<Oid>, bool> =
+                    verdicts.into_iter().flatten().collect();
                 let keep: Vec<_> = sd
                     .patterns()
                     .filter(|p| {

@@ -98,6 +98,35 @@ impl DepGraph {
         Ok(())
     }
 
+    /// Derived subdatabases grouped into dependency strata: a member of
+    /// stratum `k` depends only on members of strata `< k` (and on base
+    /// data). Same-stratum subdatabases are therefore independent — forward
+    /// maintenance may compute them concurrently and commit in the
+    /// within-stratum (sorted-name) order. Errors on cycles.
+    pub fn strata(&self) -> Result<Vec<Vec<String>>, RuleError> {
+        let order = self.topo_order()?;
+        let mut depth: FxHashMap<&str, usize> = FxHashMap::default();
+        let mut strata: Vec<Vec<String>> = Vec::new();
+        for name in &order {
+            let d = self
+                .deps_of(name)
+                .iter()
+                .filter(|dep| self.derives.contains_key(dep.as_str()))
+                .map(|dep| depth[dep.as_str()] + 1)
+                .max()
+                .unwrap_or(0);
+            depth.insert(name, d);
+            if strata.len() <= d {
+                strata.resize_with(d + 1, Vec::new);
+            }
+            strata[d].push(name.clone());
+        }
+        for s in &mut strata {
+            s.sort_unstable();
+        }
+        Ok(strata)
+    }
+
     /// The set of derived subdatabases that (transitively) depend on any
     /// member of `dirty` — the invalidation frontier for forward chaining.
     pub fn affected_by(&self, dirty: &FxHashSet<String>) -> FxHashSet<String> {
@@ -164,6 +193,26 @@ mod tests {
         ]);
         let g = DepGraph::build(&rs);
         assert!(matches!(g.topo_order(), Err(RuleError::CyclicRules(_))));
+    }
+
+    #[test]
+    fn strata_group_independent_results() {
+        let rs = rules(&[
+            ("Ra", "if context A * B then REa (A)"),
+            ("Rb", "if context REa:A * C then REb (A)"),
+            ("Rc", "if context REb:A * D then REc (A)"),
+            ("Rz", "if context E * F then REz (E)"),
+        ]);
+        let g = DepGraph::build(&rs);
+        let strata = g.strata().unwrap();
+        assert_eq!(
+            strata,
+            vec![
+                vec!["REa".to_string(), "REz".to_string()],
+                vec!["REb".to_string()],
+                vec!["REc".to_string()],
+            ]
+        );
     }
 
     #[test]

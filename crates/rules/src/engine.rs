@@ -23,6 +23,7 @@ use crate::maintain::{dirty_closure, incremental_apply, supports_incremental};
 use crate::parser::parse_rule;
 use dood_core::fxhash::{FxHashMap, FxHashSet};
 use dood_core::ids::{ClassId, Oid};
+use dood_core::pool::ChunkPool;
 use dood_core::subdb::{Subdatabase, SubdbRegistry};
 use dood_oql::ast::{ClassRef, Item, Query, SelectItem, Seq, WhereCond};
 use dood_oql::{Oql, QueryOutput};
@@ -281,6 +282,11 @@ impl RuleEngine {
     /// Apply every rule deriving `name` (union semantics, R4/R5) against
     /// the current registry state and register the result.
     fn run_rules_for(&mut self, name: &str) -> Result<(), RuleError> {
+        if !self.incremental {
+            let sd = self.compute_rules_for(name)?;
+            self.registry.put(sd, self.db.seq());
+            return Ok(());
+        }
         let idxs = self.graph.rules_for(name).to_vec();
         debug_assert!(!idxs.is_empty());
         let mut acc: Option<Subdatabase> = None;
@@ -304,6 +310,32 @@ impl RuleEngine {
         let sd = acc.expect("at least one rule ran");
         self.registry.put(sd, self.db.seq());
         Ok(())
+    }
+
+    /// The unioned result of every rule deriving `name` against the current
+    /// store and registry state, *without* committing it. Read-only, so
+    /// independent results (same depgraph stratum) can be computed on
+    /// separate threads.
+    fn compute_rules_for(&self, name: &str) -> Result<Subdatabase, RuleError> {
+        debug_assert!(!self.graph.rules_for(name).is_empty());
+        let mut acc: Option<Subdatabase> = None;
+        for &i in self.graph.rules_for(name) {
+            let sd = apply_rule(&self.rules[i], &self.db, &self.registry)?;
+            acc = Some(match acc {
+                None => sd,
+                Some(mut prev) => {
+                    if !layouts_compatible(&prev, &sd) {
+                        return Err(RuleError::TargetLayoutMismatch {
+                            subdb: name.to_string(),
+                            rule: self.rules[i].name.clone(),
+                        });
+                    }
+                    prev.union_from(&sd);
+                    prev
+                }
+            });
+        }
+        Ok(acc.expect("at least one rule ran"))
     }
 
     /// Apply one rule, via the delta path when enabled and sound, caching
@@ -373,6 +405,52 @@ impl RuleEngine {
         };
         let order = self.graph.topo_order()?;
         let mut rederived = Vec::new();
+        if self.mode == ControlMode::ResultOriented && !self.incremental {
+            // Stratum-parallel forward maintenance: same-stratum results
+            // are independent (deps live in strictly earlier strata), so
+            // their rules run concurrently over the read-only store and
+            // registry; commits happen in deterministic within-stratum
+            // order, and `rederived` is reported in topological order as
+            // on the sequential path.
+            for stratum in self.graph.strata()? {
+                let mut batch: Vec<String> = Vec::new();
+                for name in stratum {
+                    if !affected.contains(&name) {
+                        continue;
+                    }
+                    match self.policy(&name) {
+                        // Forward-maintain: collected for this stratum's
+                        // parallel fan-out.
+                        EvalPolicy::PreEvaluated => batch.push(name),
+                        EvalPolicy::PostEvaluated => {
+                            // Invalidate; the next query re-derives.
+                            self.registry.remove(&name);
+                        }
+                    }
+                }
+                // Sources are ensured fresh first, sequentially: deriving a
+                // post-evaluated source mutates the registry (the rule runs
+                // backward for it, forward for us).
+                for name in &batch {
+                    for dep in self.graph.deps_of(name).to_vec() {
+                        if self.graph.is_derived(&dep) {
+                            self.derive(&dep)?;
+                        }
+                    }
+                }
+                let pool = ChunkPool::from_env();
+                let results = pool.par_map(&batch, |name| self.compute_rules_for(name));
+                for (name, result) in batch.into_iter().zip(results) {
+                    self.registry.put(result?, self.db.seq());
+                    rederived.push(name);
+                }
+            }
+            let pos: FxHashMap<&str, usize> =
+                order.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+            rederived.sort_unstable_by_key(|n| pos[n.as_str()]);
+            self.current_dirty = None;
+            return Ok(rederived);
+        }
         for name in order {
             if !affected.contains(&name) {
                 continue;

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_SEED.json: run the full bench suite (E1-E8 + E12) and
+# concatenate the harness's JSON-lines output into one committed snapshot,
+# so future changes have a performance trajectory to compare against.
+#
+# Usage: scripts/bench_snapshot.sh [out-file]
+# Run from anywhere; operates on the workspace containing this script.
+# Re-render the snapshot with:
+#   cargo run --release -p dood-bench --bin report -- --from-json BENCH_SEED.json
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_SEED.json}"
+JSON_DIR="$(mktemp -d)"
+trap 'rm -rf "$JSON_DIR"' EXIT
+
+echo "== bench_snapshot: running bench suite (output: $OUT) =="
+DOOD_BENCH_JSON="$JSON_DIR" cargo bench -p dood-bench
+
+{
+    echo "# dood bench snapshot ($(git rev-parse --short HEAD 2>/dev/null || echo untracked))"
+    echo "# host: $(uname -sm), $(nproc) cpu(s)"
+    cat "$JSON_DIR"/BENCH_*.json
+} > "$OUT"
+
+echo "bench_snapshot: wrote $(grep -c '^{' "$OUT") records to $OUT"

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# The per-PR gate: tier-1 verify (ROADMAP.md), the hermeticity check, and a
+# 2-thread smoke run of the parallel bench so the chunked evaluation path is
+# exercised on every PR even when the full bench suite isn't run.
+#
+# Usage: scripts/ci.sh
+# Run from anywhere; operates on the workspace containing this script.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== ci: tier-1 verify (cargo build --release && cargo test -q) =="
+cargo build --release
+cargo test -q
+
+echo "== ci: hermeticity =="
+scripts/check_hermetic.sh
+
+echo "== ci: parallel-path smoke (bench e12_parallel, DOOD_THREADS=2) =="
+SMOKE_JSON="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_JSON"' EXIT
+DOOD_THREADS=2 DOOD_BENCH_SMOKE=1 DOOD_BENCH_JSON="$SMOKE_JSON" \
+    cargo bench -p dood-bench --bench e12_parallel
+
+echo "ci: PASS"
