@@ -1,0 +1,63 @@
+//! E14 — static analyzer throughput: lint the built-in workload programs
+//! and synthetic N-rule chain programs. The analyzer runs on every
+//! `RuleEngine::register`, so its cost must stay negligible next to
+//! derivation; this benchmark tracks it.
+
+use dood_bench::harness::Harness;
+use dood_core::fxhash::FxHashSet;
+use dood_rules::analyze::analyze;
+use dood_rules::program::Program;
+use dood_workload::{programs, university};
+
+/// A synthetic chain program: `C0` reads base classes, each `Ci` reads
+/// `Ci-1`, exercising layout bookkeeping, topological ordering, and edge
+/// resolution at scale.
+fn chain_program(n: usize) -> Program {
+    let mut src = String::new();
+    src.push_str("rule C0:\n  if context Teacher * Section then S0 (Teacher, Section)\n");
+    for i in 1..n {
+        src.push_str(&format!(
+            "rule C{i}:\n  if context S{}:Teacher * S{}:Section then S{i} (Teacher, Section)\n",
+            i - 1,
+            i - 1
+        ));
+    }
+    src.push_str(&format!("export S{}\n", n - 1));
+    let (prog, diags) = Program::parse(&src);
+    assert!(diags.is_empty(), "{diags:?}");
+    prog
+}
+
+fn main() {
+    let mut h = Harness::new("e14_analyze");
+    let schema = university::schema();
+    let none = FxHashSet::default();
+
+    for (name, text) in programs::all() {
+        let s = programs::builtin_schema(name).expect("builtin");
+        let (prog, diags) = Program::parse(text);
+        assert!(diags.is_empty());
+        h.bench(&format!("builtin/{name}"), || {
+            let d = analyze(&prog, &s, &none);
+            assert!(d.is_empty());
+            d.len()
+        });
+    }
+
+    for n in [10usize, 50, 200] {
+        let prog = chain_program(n);
+        h.bench(&format!("chain/{n}rules"), || {
+            let d = analyze(&prog, &schema, &none);
+            assert!(d.is_empty());
+            d.len()
+        });
+    }
+
+    // Parse + analyze end to end (the doodlint hot path).
+    h.bench("parse+analyze/university", || {
+        let (prog, _) = Program::parse(programs::UNIVERSITY);
+        analyze(&prog, &schema, &none).len()
+    });
+
+    h.finish();
+}

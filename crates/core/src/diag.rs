@@ -1,0 +1,273 @@
+//! Diagnostics: source spans, severities, and a plain-text renderer.
+//!
+//! The static analyzer (`dood-rules`), the parsers, and the `doodlint` CLI
+//! all report problems through [`Diagnostic`] so that parse errors and
+//! semantic diagnostics render uniformly with `file:line:col` anchors, the
+//! offending source line, and a caret underline.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// Start byte offset.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end: end.max(start) }
+    }
+
+    /// A zero-width span at `at`.
+    pub fn point(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// The span translated right by `by` bytes (used when embedding a rule
+    /// body inside a larger program file).
+    pub fn shifted(self, by: usize) -> Self {
+        Span { start: self.start + by, end: self.end + by }
+    }
+}
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The program is rejected.
+    Error,
+    /// Suspicious but accepted (fatal under `--strict`).
+    Warning,
+    /// Supplementary information attached to another diagnostic.
+    Note,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        })
+    }
+}
+
+/// One analyzer or parser finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Severity level.
+    pub severity: Severity,
+    /// Stable code (`E001`…, `W101`…, `P001` for parse errors).
+    pub code: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// Where in the source, when known.
+    pub span: Option<Span>,
+    /// 1-based line of `span.start` (0 = unknown); precomputed so the
+    /// diagnostic stays renderable without the source at hand.
+    pub line: u32,
+    /// 1-based column of `span.start` (0 = unknown).
+    pub col: u32,
+    /// The enclosing rule or query name, when any.
+    pub owner: Option<String>,
+    /// Free-form follow-up notes (cycle paths, hints).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            message: message.into(),
+            span: None,
+            line: 0,
+            col: 0,
+            owner: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// A new warning diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Warning, ..Diagnostic::error(code, message) }
+    }
+
+    /// Attach a span, computing line/column from `src`.
+    pub fn with_span(mut self, span: Span, src: &str) -> Self {
+        let (line, col) = line_col(src, span.start);
+        self.span = Some(span);
+        self.line = line;
+        self.col = col;
+        self
+    }
+
+    /// Attach the owning rule/query name.
+    pub fn with_owner(mut self, owner: impl Into<String>) -> Self {
+        self.owner = Some(owner.into());
+        self
+    }
+
+    /// Attach a follow-up note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// One-line rendering: `file:line:col: severity[code]: message`.
+    /// `file` may be empty (omitted along with an unknown position).
+    pub fn headline(&self, file: &str) -> String {
+        let mut out = String::new();
+        if !file.is_empty() {
+            out.push_str(file);
+            out.push(':');
+        }
+        if self.line > 0 {
+            out.push_str(&format!("{}:{}: ", self.line, self.col));
+        } else if !file.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&format!("{}[{}]: {}", self.severity, self.code, self.message));
+        if let Some(owner) = &self.owner {
+            out.push_str(&format!(" (in `{owner}`)"));
+        }
+        out
+    }
+
+    /// Full rendering: headline, the source line with a caret underline
+    /// (when the span is known), and any notes.
+    pub fn render(&self, file: &str, src: &str) -> String {
+        let mut out = self.headline(file);
+        if let Some(span) = self.span {
+            if self.line > 0 {
+                if let Some(text) = src.lines().nth(self.line as usize - 1) {
+                    let gutter = format!("{:>5} | ", self.line);
+                    out.push('\n');
+                    out.push_str(&gutter);
+                    out.push_str(text);
+                    out.push('\n');
+                    out.push_str(&" ".repeat(gutter.len() - 2));
+                    out.push_str("| ");
+                    let col = self.col as usize - 1;
+                    // Underline within the line; multi-line spans underline
+                    // to the end of the first line.
+                    let width =
+                        (span.end - span.start).max(1).min(text.chars().count().saturating_sub(col).max(1));
+                    out.push_str(&" ".repeat(col));
+                    out.push_str(&"^".repeat(width));
+                }
+            }
+        }
+        for n in &self.notes {
+            out.push_str("\n  note: ");
+            out.push_str(n);
+        }
+        out
+    }
+}
+
+/// 1-based `(line, column)` of byte offset `at` in `src`. Columns count
+/// characters, not bytes. Offsets past the end land on the last position.
+pub fn line_col(src: &str, at: usize) -> (u32, u32) {
+    let at = at.min(src.len());
+    let mut line = 1u32;
+    let mut line_start = 0usize;
+    for (i, b) in src.bytes().enumerate() {
+        if i >= at {
+            break;
+        }
+        if b == b'\n' {
+            line += 1;
+            line_start = i + 1;
+        }
+    }
+    let col = src[line_start..at].chars().count() as u32 + 1;
+    (line, col)
+}
+
+/// Whether any diagnostic is error-level.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Counts of `(errors, warnings)`.
+pub fn counts(diags: &[Diagnostic]) -> (usize, usize) {
+    let e = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let w = diags.iter().filter(|d| d.severity == Severity::Warning).count();
+    (e, w)
+}
+
+/// Sort diagnostics for presentation: by source position, then severity,
+/// then code. Position-less diagnostics sort last.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        let ka = (a.span.map_or(usize::MAX, |s| s.start), a.severity, a.code);
+        let kb = (b.span.map_or(usize::MAX, |s| s.start), b.severity, b.code);
+        ka.cmp(&kb)
+    });
+}
+
+/// Render a batch of diagnostics against one source file, sorted, one block
+/// per diagnostic, separated by blank lines.
+pub fn render_all(diags: &[Diagnostic], file: &str, src: &str) -> String {
+    let mut sorted: Vec<Diagnostic> = diags.to_vec();
+    sort(&mut sorted);
+    sorted.iter().map(|d| d.render(file, src)).collect::<Vec<_>>().join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_basics() {
+        let src = "ab\ncde\nf";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 1), (1, 2));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 5), (2, 3));
+        assert_eq!(line_col(src, 7), (3, 1));
+        assert_eq!(line_col(src, 99), (3, 2)); // clamped past the end
+    }
+
+    #[test]
+    fn headline_and_render() {
+        let src = "if context Teachr * Section\nthen X (Teachr)";
+        let d = Diagnostic::error("E001", "unknown class `Teachr`")
+            .with_span(Span::new(11, 17), src)
+            .with_owner("R1");
+        assert_eq!(d.line, 1);
+        assert_eq!(d.col, 12);
+        let h = d.headline("a.dood");
+        assert_eq!(h, "a.dood:1:12: error[E001]: unknown class `Teachr` (in `R1`)");
+        let r = d.render("a.dood", src);
+        assert!(r.contains("if context Teachr * Section"), "{r}");
+        assert!(r.contains("^^^^^^"), "{r}");
+    }
+
+    #[test]
+    fn sorting_and_counts() {
+        let src = "abc";
+        let mut ds = vec![
+            Diagnostic::warning("W102", "later").with_span(Span::new(2, 3), src),
+            Diagnostic::error("E001", "earlier").with_span(Span::new(0, 1), src),
+            Diagnostic::error("E014", "no span"),
+        ];
+        sort(&mut ds);
+        assert_eq!(ds[0].code, "E001");
+        assert_eq!(ds[1].code, "W102");
+        assert_eq!(ds[2].code, "E014");
+        assert!(has_errors(&ds));
+        assert_eq!(counts(&ds), (2, 1));
+    }
+
+    #[test]
+    fn span_shift() {
+        assert_eq!(Span::new(2, 5).shifted(10), Span::new(12, 15));
+        assert_eq!(Span::point(3).shifted(1), Span::new(4, 4));
+    }
+}

@@ -16,9 +16,12 @@
 //!   driver, keeping the workspace free of external dependencies.
 //! * [`pool`] — std-only work-chunking thread pool backing the parallel
 //!   evaluation paths (`DOOD_THREADS` override, deterministic merge order).
+//! * [`diag`] — source spans, severities, and the plain-text diagnostic
+//!   renderer shared by the parsers, the static analyzer, and `doodlint`.
 
 #![warn(missing_docs)]
 
+pub mod diag;
 pub mod error;
 pub mod fxhash;
 pub mod ids;

@@ -1,27 +1,51 @@
 //! OQL error types.
 
+use dood_core::diag::{line_col, Diagnostic, Span};
 use dood_core::error::ResolveError;
 use std::fmt;
 
-/// A syntax error with source offset.
+/// A syntax error with source position. `line`/`col` are 1-based and filled
+/// by [`ParseError::located`]; they stay 0 (unknown) for errors created
+/// without source access, in which case the byte offset is reported.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset in the source.
     pub at: usize,
     /// Message.
     pub msg: String,
+    /// 1-based line (0 = unknown).
+    pub line: u32,
+    /// 1-based column (0 = unknown).
+    pub col: u32,
 }
 
 impl ParseError {
-    /// New parse error.
+    /// New parse error at a byte offset (position not yet resolved).
     pub fn new(at: usize, msg: impl Into<String>) -> Self {
-        ParseError { at, msg: msg.into() }
+        ParseError { at, msg: msg.into(), line: 0, col: 0 }
+    }
+
+    /// Resolve `at` to a line/column against the source text.
+    pub fn located(mut self, src: &str) -> Self {
+        let (line, col) = line_col(src, self.at);
+        self.line = line;
+        self.col = col;
+        self
+    }
+
+    /// Convert to a renderable diagnostic (code `P001`).
+    pub fn to_diagnostic(&self, src: &str) -> Diagnostic {
+        Diagnostic::error("P001", self.msg.clone()).with_span(Span::point(self.at), src)
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "syntax error at offset {}: {}", self.at, self.msg)
+        if self.line > 0 {
+            write!(f, "syntax error at line {}, column {}: {}", self.line, self.col, self.msg)
+        } else {
+            write!(f, "syntax error at offset {}: {}", self.at, self.msg)
+        }
     }
 }
 

@@ -24,84 +24,84 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 }
             }
             '-' => {
-                out.push(Spanned { tok: Token::Minus, at: i });
+                out.push(Spanned { tok: Token::Minus, at: i, end: i + 1 });
                 i += 1;
             }
             '*' => {
-                out.push(Spanned { tok: Token::Star, at: i });
+                out.push(Spanned { tok: Token::Star, at: i, end: i + 1 });
                 i += 1;
             }
             '{' => {
-                out.push(Spanned { tok: Token::LBrace, at: i });
+                out.push(Spanned { tok: Token::LBrace, at: i, end: i + 1 });
                 i += 1;
             }
             '}' => {
-                out.push(Spanned { tok: Token::RBrace, at: i });
+                out.push(Spanned { tok: Token::RBrace, at: i, end: i + 1 });
                 i += 1;
             }
             '[' => {
-                out.push(Spanned { tok: Token::LBracket, at: i });
+                out.push(Spanned { tok: Token::LBracket, at: i, end: i + 1 });
                 i += 1;
             }
             ']' => {
-                out.push(Spanned { tok: Token::RBracket, at: i });
+                out.push(Spanned { tok: Token::RBracket, at: i, end: i + 1 });
                 i += 1;
             }
             '(' => {
-                out.push(Spanned { tok: Token::LParen, at: i });
+                out.push(Spanned { tok: Token::LParen, at: i, end: i + 1 });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { tok: Token::RParen, at: i });
+                out.push(Spanned { tok: Token::RParen, at: i, end: i + 1 });
                 i += 1;
             }
             ':' => {
-                out.push(Spanned { tok: Token::Colon, at: i });
+                out.push(Spanned { tok: Token::Colon, at: i, end: i + 1 });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { tok: Token::Comma, at: i });
+                out.push(Spanned { tok: Token::Comma, at: i, end: i + 1 });
                 i += 1;
             }
             '^' => {
-                out.push(Spanned { tok: Token::Caret, at: i });
+                out.push(Spanned { tok: Token::Caret, at: i, end: i + 1 });
                 i += 1;
             }
             '.' => {
-                out.push(Spanned { tok: Token::Dot, at: i });
+                out.push(Spanned { tok: Token::Dot, at: i, end: i + 1 });
                 i += 1;
             }
             '=' => {
-                out.push(Spanned { tok: Token::Eq, at: i });
+                out.push(Spanned { tok: Token::Eq, at: i, end: i + 1 });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { tok: Token::Neq, at: i });
+                    out.push(Spanned { tok: Token::Neq, at: i, end: i + 2 });
                     i += 2;
                 } else {
-                    out.push(Spanned { tok: Token::Bang, at: i });
+                    out.push(Spanned { tok: Token::Bang, at: i, end: i + 1 });
                     i += 1;
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { tok: Token::Le, at: i });
+                    out.push(Spanned { tok: Token::Le, at: i, end: i + 2 });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Spanned { tok: Token::Neq, at: i });
+                    out.push(Spanned { tok: Token::Neq, at: i, end: i + 2 });
                     i += 2;
                 } else {
-                    out.push(Spanned { tok: Token::Lt, at: i });
+                    out.push(Spanned { tok: Token::Lt, at: i, end: i + 1 });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { tok: Token::Ge, at: i });
+                    out.push(Spanned { tok: Token::Ge, at: i, end: i + 2 });
                     i += 2;
                 } else {
-                    out.push(Spanned { tok: Token::Gt, at: i });
+                    out.push(Spanned { tok: Token::Gt, at: i, end: i + 1 });
                     i += 1;
                 }
             }
@@ -130,7 +130,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                         }
                     }
                 }
-                out.push(Spanned { tok: Token::Str(s), at: start });
+                out.push(Spanned { tok: Token::Str(s), at: start, end: i });
             }
             '0'..='9' => {
                 let start = i;
@@ -148,13 +148,13 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                     let v: f64 = text
                         .parse()
                         .map_err(|_| ParseError::new(start, "invalid real literal"))?;
-                    out.push(Spanned { tok: Token::Real(v), at: start });
+                    out.push(Spanned { tok: Token::Real(v), at: start, end: i });
                 } else {
                     let text = &src[start..i];
                     let v: i64 = text
                         .parse()
                         .map_err(|_| ParseError::new(start, "invalid integer literal"))?;
-                    out.push(Spanned { tok: Token::Int(v), at: start });
+                    out.push(Spanned { tok: Token::Int(v), at: start, end: i });
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -168,7 +168,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 }
                 let text = &src[start..i];
                 let tok = Token::keyword(text).unwrap_or_else(|| Token::Ident(text.to_string()));
-                out.push(Spanned { tok, at: start });
+                out.push(Spanned { tok, at: start, end: i });
             }
             other => {
                 let _ = other.len_utf8(); // multibyte symbols reach here too
@@ -176,7 +176,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
             }
         }
     }
-    out.push(Spanned { tok: Token::Eof, at: src.len() });
+    out.push(Spanned { tok: Token::Eof, at: src.len(), end: src.len() });
     Ok(out)
 }
 

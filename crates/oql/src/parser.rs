@@ -27,17 +27,33 @@ use crate::ast::*;
 use crate::error::ParseError;
 use crate::lexer::lex;
 use crate::token::{Spanned, Token};
+use dood_core::diag::Span;
 
 /// Parser state over a token stream.
+///
+/// Alongside the AST the parser records *span side-tables*: the source span
+/// of every context class occurrence (in textual order, matching the
+/// flatten order used by resolution) and of every WHERE condition. The
+/// static analyzer uses these to anchor diagnostics without weighing the
+/// AST down with positions.
 pub struct Parser {
     toks: Vec<Spanned>,
     pos: usize,
+    src: String,
+    occ_spans: Vec<Span>,
+    where_spans: Vec<Span>,
 }
 
 impl Parser {
     /// Create a parser for a source string.
     pub fn new(src: &str) -> Result<Self, ParseError> {
-        Ok(Parser { toks: lex(src)?, pos: 0 })
+        Ok(Parser {
+            toks: lex(src).map_err(|e| e.located(src))?,
+            pos: 0,
+            src: src.to_string(),
+            occ_spans: Vec::new(),
+            where_spans: Vec::new(),
+        })
     }
 
     /// The current token.
@@ -52,6 +68,38 @@ impl Parser {
     /// Current source offset (for error reporting).
     pub fn at(&self) -> usize {
         self.toks[self.pos].at
+    }
+
+    /// End offset of the most recently consumed token.
+    pub fn prev_end(&self) -> usize {
+        self.toks[self.pos.saturating_sub(1)].end
+    }
+
+    /// The span from `start` (a prior [`Parser::at`] mark) to the end of
+    /// the last consumed token.
+    pub fn span_since(&self, start: usize) -> Span {
+        Span::new(start, self.prev_end().max(start))
+    }
+
+    /// The source text being parsed.
+    pub fn src(&self) -> &str {
+        &self.src
+    }
+
+    /// Fill line/column on an error using this parser's source.
+    pub fn locate(&self, e: ParseError) -> ParseError {
+        e.located(&self.src)
+    }
+
+    /// Spans of context class occurrences recorded so far, in textual
+    /// (flatten) order.
+    pub fn occurrence_spans(&self) -> &[Span] {
+        &self.occ_spans
+    }
+
+    /// Spans of WHERE conditions recorded so far, in textual order.
+    pub fn where_spans(&self) -> &[Span] {
+        &self.where_spans
     }
 
     /// Advance and return the consumed token.
@@ -96,9 +144,9 @@ impl Parser {
     /// Parse a complete query block.
     pub fn parse_query(src: &str) -> Result<Query, ParseError> {
         let mut p = Parser::new(src)?;
-        let q = p.query()?;
+        let q = p.query().map_err(|e| p.locate(e))?;
         if !p.at_eof() {
-            return Err(ParseError::new(p.at(), format!("unexpected `{}`", p.peek())));
+            return Err(p.locate(ParseError::new(p.at(), format!("unexpected `{}`", p.peek()))));
         }
         Ok(q)
     }
@@ -106,9 +154,9 @@ impl Parser {
     /// Parse just a context expression (used by the rule parser).
     pub fn parse_context_expr(src: &str) -> Result<ContextExpr, ParseError> {
         let mut p = Parser::new(src)?;
-        let e = p.context_expr()?;
+        let e = p.context_expr().map_err(|e| p.locate(e))?;
         if !p.at_eof() {
-            return Err(ParseError::new(p.at(), format!("unexpected `{}`", p.peek())));
+            return Err(p.locate(ParseError::new(p.at(), format!("unexpected `{}`", p.peek()))));
         }
         Ok(e)
     }
@@ -191,6 +239,7 @@ impl Parser {
                 Ok(Item::Group(inner))
             }
             Token::Ident(_) => {
+                let start = self.at();
                 let class = self.classref()?;
                 let cond = if matches!(self.peek(), Token::LBracket) {
                     self.bump();
@@ -200,6 +249,7 @@ impl Parser {
                 } else {
                     None
                 };
+                self.occ_spans.push(self.span_since(start));
                 Ok(Item::Class { class, cond })
             }
             other => Err(ParseError::new(
@@ -310,10 +360,14 @@ impl Parser {
 
     /// Parse `cond (and cond)*` of a WHERE subclause.
     pub fn where_conds(&mut self) -> Result<Vec<WhereCond>, ParseError> {
+        let start = self.at();
         let mut out = vec![self.where_cond()?];
+        self.where_spans.push(self.span_since(start));
         while matches!(self.peek(), Token::And) {
             self.bump();
+            let start = self.at();
             out.push(self.where_cond()?);
+            self.where_spans.push(self.span_since(start));
         }
         Ok(out)
     }

@@ -117,11 +117,13 @@ impl fmt::Display for Token {
     }
 }
 
-/// A token with its source offset (for error messages).
+/// A token with its source span (for error messages and diagnostics).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Spanned {
     /// The token.
     pub tok: Token,
-    /// Byte offset in the source.
+    /// Start byte offset in the source.
     pub at: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
 }

@@ -1,0 +1,1023 @@
+//! `dood-analyze`: the schema-aware static analyzer for rule programs.
+//!
+//! Runs over a parsed [`Program`] and the OSAM* schema **without touching
+//! extensional data**, in four passes:
+//!
+//! 1. **Type checking** — every context-expression class exists (`E001`),
+//!    qualified references name derivable subdatabases and their classes
+//!    (`E002`/`E003`), `*`/`!`-linked pairs share a unique association
+//!    (`E004`/`E005`), and `[...]` / WHERE predicates reference real
+//!    attributes with comparable value types (`E006`–`E010`).
+//! 2. **Safety / range restriction** — every slot of the derived
+//!    association pattern is bound by a positive (`*`) context atom; an
+//!    occurrence constrained only by `!` edges cannot safely feed a THEN
+//!    target (`E013`, warning `W101` otherwise). THEN targets must name
+//!    IF-clause classes (`E011`) and union rules must agree on the target
+//!    layout (`E012`).
+//! 3. **Stratification** — rule dependency cycles are rejected with the
+//!    full named cycle path (`E014`), and cycles that pass through a
+//!    negated (`!`) read of a derived subdatabase are flagged as
+//!    negation-through-derivation (`E015`).
+//! 4. **Lints** — dead rules (`W102`), duplicate rule bodies (`W103`), and
+//!    Null-propagation from `{...}` brace retention into `=` comparisons
+//!    (`W104`).
+//!
+//! The analyzer is deliberately conservative where runtime resolution is
+//! richer than its static model: edges between two occurrences qualified by
+//! the *same* derived subdatabase, and closure-level alias slots (`Grad_2`)
+//! of open (family-targeted) subdatabases, are accepted without a verdict.
+
+use crate::ast::{Rule, TargetItem};
+use crate::depgraph::DepGraph;
+use crate::derive::target_names;
+use crate::engine::referenced_subdbs;
+use crate::error::RuleError;
+use crate::program::{Program, ProgramRule};
+use dood_core::diag::{self, Diagnostic, Span};
+use dood_core::error::ResolveError;
+use dood_core::fxhash::{FxHashMap, FxHashSet};
+use dood_core::ids::ClassId;
+use dood_core::schema::Schema;
+use dood_core::value::DType;
+use dood_oql::ast::{
+    AggFunc, ClassRef, CmpOp, CmpRhs, Item, Literal, PatOp, Pred, Seq, WhereCond,
+};
+
+/// Analyze a program against a schema. `external` names subdatabases that
+/// are registered outside the program (the engine's registry); references
+/// to them are legal even though no program rule derives them. The
+/// program's own `extern` directives are honored in addition.
+///
+/// Returns all diagnostics, sorted by source position.
+pub fn analyze(
+    program: &Program,
+    schema: &Schema,
+    external: &FxHashSet<String>,
+) -> Vec<Diagnostic> {
+    let mut ext = external.clone();
+    ext.extend(program.externs.iter().cloned());
+    let mut a = Analyzer::new(program, schema, ext);
+    a.run();
+    diag::sort(&mut a.diags);
+    a.diags
+}
+
+/// One slot of a statically-modelled derived subdatabase.
+struct SlotInfo {
+    name: String,
+    base: Option<ClassId>,
+    attrs: Option<Vec<String>>,
+}
+
+/// The static intension of a derived subdatabase.
+struct SubdbInfo {
+    /// Full THEN-clause name list of the first deriving rule (families as
+    /// `base_*`), for layout comparison.
+    names: Vec<String>,
+    /// Non-family slots, in order.
+    slots: Vec<SlotInfo>,
+    /// Whether a family target (`C_*`) makes the slot set open-ended.
+    open: bool,
+}
+
+/// A resolved context occurrence.
+struct OccInfo {
+    name: String,
+    subdb: Option<String>,
+    base: Option<ClassId>,
+    /// Attribute restriction inherited from the source subdatabase slot.
+    filter: Option<Vec<String>>,
+    span: Span,
+}
+
+/// The flattened shape of a context expression.
+struct Shape<'a> {
+    occs: Vec<(&'a ClassRef, Option<&'a Pred>)>,
+    /// Operator between occurrence `i` and `i+1`.
+    ops: Vec<PatOp>,
+    /// Inclusive occurrence-index ranges covered by `{...}` groups.
+    groups: Vec<(usize, usize)>,
+}
+
+fn shape(seq: &Seq) -> Shape<'_> {
+    fn walk<'a>(seq: &'a Seq, sh: &mut Shape<'a>) {
+        visit(&seq.first, sh);
+        for (op, it) in &seq.rest {
+            sh.ops.push(*op);
+            visit(it, sh);
+        }
+    }
+    fn visit<'a>(i: &'a Item, sh: &mut Shape<'a>) {
+        match i {
+            Item::Class { class, cond } => sh.occs.push((class, cond.as_ref())),
+            Item::Group(g) => {
+                let start = sh.occs.len();
+                walk(g, sh);
+                if sh.occs.len() > start {
+                    sh.groups.push((start, sh.occs.len() - 1));
+                }
+            }
+        }
+    }
+    let mut sh = Shape { occs: Vec::new(), ops: Vec::new(), groups: Vec::new() };
+    walk(seq, &mut sh);
+    sh
+}
+
+struct Analyzer<'a> {
+    prog: &'a Program,
+    schema: &'a Schema,
+    external: FxHashSet<String>,
+    graph: DepGraph,
+    subdbs: FxHashMap<String, SubdbInfo>,
+    diags: Vec<Diagnostic>,
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(prog: &'a Program, schema: &'a Schema, external: FxHashSet<String>) -> Self {
+        let rules: Vec<Rule> = prog.rules.iter().map(|r| r.rule.clone()).collect();
+        Analyzer {
+            prog,
+            schema,
+            external,
+            graph: DepGraph::build(&rules),
+            subdbs: FxHashMap::default(),
+            diags: Vec::new(),
+        }
+    }
+
+    fn src(&self) -> &str {
+        &self.prog.source
+    }
+
+    fn err(&mut self, code: &'static str, msg: String, span: Span, owner: &str) {
+        let d = Diagnostic::error(code, msg).with_span(span, &self.prog.source).with_owner(owner);
+        self.diags.push(d);
+    }
+
+    fn warn(&mut self, code: &'static str, msg: String, span: Span, owner: &str) {
+        let d = Diagnostic::warning(code, msg).with_span(span, &self.prog.source).with_owner(owner);
+        self.diags.push(d);
+    }
+
+    fn run(&mut self) {
+        self.check_duplicate_names();
+        self.collect_layouts();
+        let order = self.check_stratification();
+        for ri in order {
+            let pr = &self.prog.rules[ri];
+            self.check_rule(pr);
+        }
+        for q in &self.prog.queries {
+            let sh = shape(&q.query.context.seq);
+            let occs = self.resolve_occurrences(&sh, &q.occurrences, &q.name);
+            self.check_edges(&sh, &occs, q.query.context.closure.is_some(), &q.name);
+            self.check_wheres(&q.query.where_, &sh, &occs, &q.wheres, &q.name, true);
+        }
+        self.check_exports();
+        self.lint_dead_rules();
+        self.lint_duplicates();
+    }
+
+    // ----------------------------------------------------------------
+    // Setup passes
+    // ----------------------------------------------------------------
+
+    fn check_duplicate_names(&mut self) {
+        let mut seen: FxHashSet<&str> = FxHashSet::default();
+        let mut dups = Vec::new();
+        for pr in &self.prog.rules {
+            if !seen.insert(&pr.rule.name) {
+                dups.push((pr.rule.name.clone(), pr.header));
+            }
+        }
+        for (name, span) in dups {
+            self.err("E016", format!("duplicate rule name `{name}`"), span, &name);
+        }
+    }
+
+    /// Record each derived subdatabase's slot layout; flag union rules that
+    /// disagree on it (E012).
+    fn collect_layouts(&mut self) {
+        for pr in &self.prog.rules {
+            let names = target_names(&pr.rule);
+            let open = pr.rule.targets.iter().any(|t| matches!(t, TargetItem::Family { .. }));
+            match self.subdbs.get(&pr.rule.target_subdb) {
+                None => {
+                    let slots = pr
+                        .rule
+                        .targets
+                        .iter()
+                        .filter_map(|t| match t {
+                            TargetItem::Class { class, attrs } => Some(SlotInfo {
+                                name: class.name.clone(),
+                                base: None,
+                                attrs: attrs.clone(),
+                            }),
+                            TargetItem::Family { .. } => None,
+                        })
+                        .collect();
+                    self.subdbs.insert(
+                        pr.rule.target_subdb.clone(),
+                        SubdbInfo { names, slots, open },
+                    );
+                }
+                Some(info) => {
+                    if info.names != names {
+                        let (subdb, name) = (pr.rule.target_subdb.clone(), pr.rule.name.clone());
+                        self.err(
+                            "E012",
+                            format!(
+                                "rule `{name}` derives `{subdb}` with class list ({}) but an \
+                                 earlier rule derives it with ({})",
+                                names.join(", "),
+                                info.names.join(", "),
+                            ),
+                            pr.spans.target_subdb,
+                            &name,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Topological processing order of rule indices; on a cycle, emit
+    /// E014/E015 with the named path and fall back to declaration order.
+    fn check_stratification(&mut self) -> Vec<usize> {
+        match self.graph.topo_order() {
+            Ok(order) => {
+                let mut out = Vec::new();
+                for name in &order {
+                    out.extend(self.graph.rules_for(name).iter().copied());
+                }
+                out
+            }
+            Err(RuleError::CyclicRules(path)) => {
+                self.report_cycle(&path);
+                (0..self.prog.rules.len()).collect()
+            }
+            Err(_) => (0..self.prog.rules.len()).collect(),
+        }
+    }
+
+    fn report_cycle(&mut self, path: &[String]) {
+        let mut negative = false;
+        let mut notes = Vec::new();
+        let mut owner = None;
+        for w in path.windows(2) {
+            let (p, q) = (&w[0], &w[1]);
+            // `p` depends on `q`: find a deriving rule that reads `q`.
+            for &ri in self.graph.rules_for(p) {
+                let pr = &self.prog.rules[ri];
+                if pr.rule.reads().iter().any(|r| r == q) {
+                    let neg = negated_reads(&pr.rule).contains(q.as_str());
+                    negative |= neg;
+                    notes.push(format!(
+                        "`{p}` reads `{q}` in rule `{}`{}",
+                        pr.rule.name,
+                        if neg { " through a `!` (negated) edge" } else { "" },
+                    ));
+                    if owner.is_none() {
+                        owner = Some((pr.rule.name.clone(), pr.header));
+                    }
+                    break;
+                }
+            }
+        }
+        let (code, what): (&'static str, _) = if negative {
+            ("E015", "negation-through-derivation cycle")
+        } else {
+            ("E014", "cyclic rule dependencies")
+        };
+        let mut d = Diagnostic::error(
+            code,
+            format!(
+                "{what}: {}; recursion must use the `^*` closure construct instead",
+                path.join(" -> ")
+            ),
+        );
+        if let Some((name, span)) = owner {
+            d = d.with_span(span, self.src()).with_owner(name);
+        }
+        for n in notes {
+            d = d.with_note(n);
+        }
+        self.diags.push(d);
+    }
+
+    // ----------------------------------------------------------------
+    // Per-rule checks
+    // ----------------------------------------------------------------
+
+    fn check_rule(&mut self, pr: &ProgramRule) {
+        let rule = &pr.rule;
+        let name = rule.name.clone();
+        let sh = shape(&rule.context.seq);
+        let occs = self.resolve_occurrences(&sh, &pr.spans.occurrences, &name);
+        let closed = rule.context.closure.is_some();
+        self.check_edges(&sh, &occs, closed, &name);
+        let target_use = self.check_targets(pr, &occs, closed);
+        self.check_safety(pr, &sh, &occs, closed, &target_use);
+        self.check_wheres(&rule.where_, &sh, &occs, &pr.spans.wheres, &name, false);
+        self.fill_slot_bases(pr, &occs);
+    }
+
+    /// Resolve every context occurrence to a base class, reporting
+    /// E001/E002/E003 as needed.
+    fn resolve_occurrences(
+        &mut self,
+        sh: &Shape<'_>,
+        spans: &[Span],
+        owner: &str,
+    ) -> Vec<OccInfo> {
+        let mut out = Vec::new();
+        for (i, (cref, _)) in sh.occs.iter().enumerate() {
+            let span = spans.get(i).copied().unwrap_or_default();
+            let base;
+            let mut filter = None;
+            match &cref.subdb {
+                Some(sd) => {
+                    if let Some(info) = self.subdbs.get(sd.as_str()) {
+                        match info.slots.iter().find(|s| s.name == cref.name) {
+                            Some(slot) => {
+                                base = slot.base;
+                                filter = slot.attrs.clone();
+                            }
+                            None if info.open => {
+                                // Open (family-targeted) subdatabase: alias
+                                // levels exist only at runtime; resolve the
+                                // base class by family name, no verdict on
+                                // slot existence.
+                                base = self.class_of(&cref.name);
+                            }
+                            None => {
+                                self.err(
+                                    "E003",
+                                    format!("subdatabase `{sd}` has no class `{}`", cref.name),
+                                    span,
+                                    owner,
+                                );
+                                base = self.class_of(&cref.name);
+                            }
+                        }
+                    } else if self.external.contains(sd.as_str()) {
+                        // Externally-registered subdatabase: slots unknown
+                        // statically; resolve the base best-effort.
+                        base = self.class_of(&cref.name);
+                    } else {
+                        self.err(
+                            "E002",
+                            format!(
+                                "no rule derives subdatabase `{sd}` and it is not registered"
+                            ),
+                            span,
+                            owner,
+                        );
+                        base = self.class_of(&cref.name);
+                    }
+                }
+                None => {
+                    base = self.class_of(&cref.name);
+                    if base.is_none() {
+                        self.err(
+                            "E001",
+                            format!("unknown class `{}`", cref.name),
+                            span,
+                            owner,
+                        );
+                    }
+                }
+            }
+            out.push(OccInfo {
+                name: cref.name.clone(),
+                subdb: cref.subdb.clone(),
+                base,
+                filter,
+                span,
+            });
+        }
+        // Intra-class predicate type checks.
+        for (i, (_, cond)) in sh.occs.iter().enumerate() {
+            if let Some(p) = cond {
+                let occ = &out[i];
+                let (base, filter, span) = (occ.base, occ.filter.clone(), occ.span);
+                self.check_pred(p, base, filter.as_deref(), span, owner);
+            }
+        }
+        out
+    }
+
+    /// The base class a name denotes: the class itself, or (for a closure
+    /// alias like `Part_1`) its family class.
+    fn class_of(&self, name: &str) -> Option<ClassId> {
+        self.schema.try_class_by_name(name).or_else(|| {
+            let (family, level) = ClassRef::split_alias(name);
+            (level > 0).then(|| self.schema.try_class_by_name(family)).flatten()
+        })
+    }
+
+    /// Recursively type-check an intra-class predicate against a class.
+    fn check_pred(
+        &mut self,
+        pred: &Pred,
+        base: Option<ClassId>,
+        filter: Option<&[String]>,
+        span: Span,
+        owner: &str,
+    ) {
+        match pred {
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                self.check_pred(a, base, filter, span, owner);
+                self.check_pred(b, base, filter, span, owner);
+            }
+            Pred::Not(p) => self.check_pred(p, base, filter, span, owner),
+            Pred::Cmp { attr, value, .. } => {
+                if let Some(dt) = self.check_attr(base, filter, attr, span, owner) {
+                    self.check_comparable(dt, Some(literal_dtype(value)), attr, span, owner);
+                }
+            }
+        }
+    }
+
+    /// Resolve an attribute on a class (reporting E006/E008) and return its
+    /// value type when known.
+    fn check_attr(
+        &mut self,
+        base: Option<ClassId>,
+        filter: Option<&[String]>,
+        attr: &str,
+        span: Span,
+        owner: &str,
+    ) -> Option<DType> {
+        let base = base?;
+        if let Some(list) = filter {
+            if !list.iter().any(|a| a == attr) {
+                let class = self.schema.class(base).name.clone();
+                self.err(
+                    "E008",
+                    format!(
+                        "attribute `{attr}` of `{class}` was projected away by the deriving \
+                         rule's THEN clause and is not accessible here"
+                    ),
+                    span,
+                    owner,
+                );
+                return None;
+            }
+        }
+        match self.schema.resolve_attr(base, attr) {
+            Ok(ra) => self.schema.attr_dtype(ra.attr),
+            Err(e) => {
+                self.err("E006", e.to_string(), span, owner);
+                None
+            }
+        }
+    }
+
+    /// Report E007 when two value types cannot be compared.
+    fn check_comparable(
+        &mut self,
+        left: DType,
+        right: Option<DType>,
+        what: &str,
+        span: Span,
+        owner: &str,
+    ) {
+        let Some(right) = right else { return };
+        let numeric = |d: DType| matches!(d, DType::Int | DType::Real);
+        if left != right && !(numeric(left) && numeric(right)) {
+            self.err(
+                "E007",
+                format!("`{what}` has type {left} but is compared with a {right} value"),
+                span,
+                owner,
+            );
+        }
+    }
+
+    /// Check every association-pattern edge (E004/E005), including the
+    /// closure's cycle-back edge.
+    fn check_edges(&mut self, sh: &Shape<'_>, occs: &[OccInfo], closed: bool, owner: &str) {
+        for i in 0..sh.ops.len() {
+            self.check_edge(&occs[i], &occs[i + 1], owner);
+        }
+        if closed && occs.len() >= 2 {
+            let (last, first) = (occs.len() - 1, 0);
+            self.check_edge(&occs[last], &occs[first], owner);
+        } else if closed && occs.len() == 1 {
+            self.check_edge(&occs[0], &occs[0], owner);
+        }
+    }
+
+    fn check_edge(&mut self, a: &OccInfo, b: &OccInfo, owner: &str) {
+        // Two slots of the same derived subdatabase are linked by the
+        // derived direct associations; runtime resolution handles them.
+        if a.subdb.is_some() && a.subdb == b.subdb {
+            return;
+        }
+        let (Some(ca), Some(cb)) = (a.base, b.base) else { return };
+        match self.schema.resolve_edge(ca, cb) {
+            Ok(_) => {}
+            Err(e @ ResolveError::Ambiguous { .. }) => {
+                self.err("E004", e.to_string(), a.span, owner);
+            }
+            Err(e) => {
+                self.err("E005", e.to_string(), a.span, owner);
+            }
+        }
+    }
+
+    /// Validate THEN-clause targets (E011); returns the set of occurrence
+    /// indices used by targets (for the safety pass).
+    fn check_targets(
+        &mut self,
+        pr: &ProgramRule,
+        occs: &[OccInfo],
+        closed: bool,
+    ) -> FxHashSet<usize> {
+        let rule = &pr.rule;
+        let name = rule.name.clone();
+        let mut used = FxHashSet::default();
+        for (ti, t) in rule.targets.iter().enumerate() {
+            let span = pr.spans.targets.get(ti).copied().unwrap_or(pr.spans.target_subdb);
+            match t {
+                TargetItem::Class { class, attrs } => {
+                    let matches: Vec<usize> = occs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, o)| {
+                            o.name == class.name
+                                && class.subdb.as_ref().is_none_or(|s| o.subdb.as_deref() == Some(s))
+                        })
+                        .map(|(i, _)| i)
+                        .collect();
+                    match matches.len() {
+                        0 => {
+                            let (family, level) = ClassRef::split_alias(&class.name);
+                            let alias_ok = closed
+                                && level >= 1
+                                && occs.iter().any(|o| o.name == family);
+                            if !alias_ok {
+                                self.err(
+                                    "E011",
+                                    format!(
+                                        "target `{class}` is not a class of the IF clause"
+                                    ),
+                                    span,
+                                    &name,
+                                );
+                            }
+                        }
+                        1 => {
+                            used.insert(matches[0]);
+                            if let Some(list) = attrs {
+                                let base = occs[matches[0]].base;
+                                for a in list {
+                                    self.check_attr(base, None, a, span, &name);
+                                }
+                            }
+                        }
+                        _ => {
+                            self.err(
+                                "E011",
+                                format!(
+                                    "target `{class}` matches {} classes of the IF clause; \
+                                     qualify it",
+                                    matches.len()
+                                ),
+                                span,
+                                &name,
+                            );
+                        }
+                    }
+                }
+                TargetItem::Family { base } => {
+                    if !closed {
+                        self.err(
+                            "E011",
+                            format!(
+                                "family target `{base}_*` requires a cyclic (`^*`) IF clause"
+                            ),
+                            span,
+                            &name,
+                        );
+                    } else if let Some(i) = occs.iter().position(|o| o.name == *base) {
+                        used.insert(i);
+                    } else {
+                        self.err(
+                            "E011",
+                            format!("family target `{base}_*` has no base class `{base}` \
+                                     in the IF clause"),
+                            span,
+                            &name,
+                        );
+                    }
+                }
+            }
+        }
+        used
+    }
+
+    /// Safety / range restriction: an occurrence constrained only by `!`
+    /// edges has no positive binding. Feeding a THEN target from it is an
+    /// error (E013); otherwise it draws a warning (W101).
+    fn check_safety(
+        &mut self,
+        pr: &ProgramRule,
+        sh: &Shape<'_>,
+        occs: &[OccInfo],
+        closed: bool,
+        target_use: &FxHashSet<usize>,
+    ) {
+        let name = pr.rule.name.clone();
+        let n = occs.len();
+        for i in 0..n {
+            if n == 1 {
+                break; // a single-class context is its class extent: bound.
+            }
+            let mut bound = false;
+            if i > 0 && sh.ops[i - 1] == PatOp::Assoc {
+                bound = true;
+            }
+            if i < sh.ops.len() && sh.ops[i] == PatOp::Assoc {
+                bound = true;
+            }
+            // The closure's cycle-back edge is a positive association.
+            if closed && (i == 0 || i == n - 1) {
+                bound = true;
+            }
+            if bound {
+                continue;
+            }
+            let occ = &occs[i];
+            if target_use.contains(&i) {
+                self.err(
+                    "E013",
+                    format!(
+                        "target class `{}` is bound only by `!` (non-association) edges; \
+                         a derived slot needs a positive `*` binding",
+                        occ.name
+                    ),
+                    occ.span,
+                    &name,
+                );
+            } else {
+                self.warn(
+                    "W101",
+                    format!(
+                        "class `{}` is bound only by `!` (non-association) edges",
+                        occ.name
+                    ),
+                    occ.span,
+                    &name,
+                );
+            }
+        }
+    }
+
+    /// WHERE-condition checks: operands must name IF-clause classes (E009),
+    /// attributes must resolve (E006/E008) with comparable types (E007),
+    /// and SUM/AVG need numeric attributes (E010). Also the W104
+    /// Null-propagation lint for brace retention.
+    fn check_wheres(
+        &mut self,
+        conds: &[WhereCond],
+        sh: &Shape<'_>,
+        occs: &[OccInfo],
+        spans: &[Span],
+        owner: &str,
+        _is_query: bool,
+    ) {
+        for (wi, cond) in conds.iter().enumerate() {
+            let span = spans.get(wi).copied().unwrap_or_default();
+            match cond {
+                WhereCond::Agg { func, target, attr, by, op: _, value } => {
+                    let t = self.match_operand(occs, target, sh, span, owner);
+                    if let Some(b) = by {
+                        self.match_operand(occs, b, sh, span, owner);
+                    }
+                    let dt = match (t, attr) {
+                        (Some(ti), Some(a)) => {
+                            let (base, filter) = (occs[ti].base, occs[ti].filter.clone());
+                            self.check_attr(base, filter.as_deref(), a, span, owner)
+                        }
+                        _ => None,
+                    };
+                    match func {
+                        AggFunc::Count => {
+                            // COUNT yields an integer whatever it counts.
+                            self.check_comparable(
+                                DType::Int,
+                                Some(literal_dtype(value)),
+                                "count(...)",
+                                span,
+                                owner,
+                            );
+                        }
+                        AggFunc::Sum | AggFunc::Avg => {
+                            if let Some(dt) = dt {
+                                if !matches!(dt, DType::Int | DType::Real) {
+                                    let a = attr.as_deref().unwrap_or("?");
+                                    self.err(
+                                        "E010",
+                                        format!(
+                                            "{func:?}(...) needs a numeric attribute, but \
+                                             `{a}` has type {dt}"
+                                        ),
+                                        span,
+                                        owner,
+                                    );
+                                } else {
+                                    self.check_comparable(
+                                        dt,
+                                        Some(literal_dtype(value)),
+                                        attr.as_deref().unwrap_or("?"),
+                                        span,
+                                        owner,
+                                    );
+                                }
+                            }
+                        }
+                        AggFunc::Min | AggFunc::Max => {
+                            if let Some(dt) = dt {
+                                self.check_comparable(
+                                    dt,
+                                    Some(literal_dtype(value)),
+                                    attr.as_deref().unwrap_or("?"),
+                                    span,
+                                    owner,
+                                );
+                            }
+                        }
+                    }
+                }
+                WhereCond::Cmp { left: (cref, attr), op, right } => {
+                    let li = self.match_operand(occs, cref, sh, span, owner);
+                    let ldt = li.and_then(|i| {
+                        let (base, filter) = (occs[i].base, occs[i].filter.clone());
+                        self.check_attr(base, filter.as_deref(), attr, span, owner)
+                    });
+                    let rdt = match right {
+                        CmpRhs::Lit(l) => Some(literal_dtype(l)),
+                        CmpRhs::Attr(rc, ra) => {
+                            let ri = self.match_operand(occs, rc, sh, span, owner);
+                            ri.and_then(|i| {
+                                let (base, filter) = (occs[i].base, occs[i].filter.clone());
+                                self.check_attr(base, filter.as_deref(), ra, span, owner)
+                            })
+                        }
+                    };
+                    if let Some(ldt) = ldt {
+                        self.check_comparable(ldt, rdt, &format!("{cref}.{attr}"), span, owner);
+                    }
+                    // W104: brace retention injects Null into slots outside
+                    // the retained span; `=` never matches Null, so such
+                    // retained patterns are silently dropped here.
+                    if *op == CmpOp::Eq {
+                        if let Some(i) = li {
+                            if sh.groups.iter().any(|&(lo, hi)| i < lo || i > hi) {
+                                self.warn(
+                                    "W104",
+                                    format!(
+                                        "`{{...}}` retention can leave `{cref}` Null in \
+                                         retained patterns, and `=` never matches Null; \
+                                         those patterns are dropped by this comparison"
+                                    ),
+                                    span,
+                                    owner,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Match a WHERE operand to a context occurrence (E009 on failure).
+    fn match_operand(
+        &mut self,
+        occs: &[OccInfo],
+        r: &ClassRef,
+        sh: &Shape<'_>,
+        span: Span,
+        owner: &str,
+    ) -> Option<usize> {
+        let matches: Vec<usize> = occs
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| {
+                o.name == r.name
+                    && r.subdb.as_ref().is_none_or(|s| o.subdb.as_deref() == Some(s))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            1 => Some(matches[0]),
+            0 => {
+                // Closure alias levels (`Grad_2`) are legal operands when
+                // the family class appears in a cyclic context.
+                let (family, level) = ClassRef::split_alias(&r.name);
+                let alias_ok = level >= 1 && occs.iter().any(|o| o.name == family);
+                if !(alias_ok && !sh.occs.is_empty()) {
+                    self.err(
+                        "E009",
+                        format!("WHERE operand `{r}` is not a class of the context"),
+                        span,
+                        owner,
+                    );
+                }
+                None
+            }
+            _ => {
+                self.err(
+                    "E009",
+                    format!("WHERE operand `{r}` matches several context classes; qualify it"),
+                    span,
+                    owner,
+                );
+                None
+            }
+        }
+    }
+
+    /// After checking a rule, back-fill the base classes of its target
+    /// subdatabase's slots (E012 when union rules disagree on a base).
+    fn fill_slot_bases(&mut self, pr: &ProgramRule, occs: &[OccInfo]) {
+        let rule = &pr.rule;
+        // Resolve each non-family target to its occurrence's base.
+        let mut bases: Vec<Option<ClassId>> = Vec::new();
+        for t in &rule.targets {
+            if let TargetItem::Class { class, .. } = t {
+                let base = occs
+                    .iter()
+                    .find(|o| {
+                        o.name == class.name
+                            && class.subdb.as_ref().is_none_or(|s| o.subdb.as_deref() == Some(s))
+                    })
+                    .and_then(|o| o.base);
+                bases.push(base);
+            }
+        }
+        let mut mismatch = None;
+        if let Some(info) = self.subdbs.get_mut(&rule.target_subdb) {
+            for (slot, base) in info.slots.iter_mut().zip(bases) {
+                match (slot.base, base) {
+                    (None, Some(b)) => slot.base = Some(b),
+                    (Some(prev), Some(b)) if prev != b => {
+                        mismatch = Some((slot.name.clone(), prev, b));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Some((slot, prev, b)) = mismatch {
+            let (prev, b) =
+                (self.schema.class(prev).name.clone(), self.schema.class(b).name.clone());
+            self.err(
+                "E012",
+                format!(
+                    "rule `{}` derives slot `{slot}` of `{}` from class `{b}`, but an \
+                     earlier rule derives it from `{prev}`",
+                    rule.name, rule.target_subdb
+                ),
+                pr.spans.target_subdb,
+                &rule.name.clone(),
+            );
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Program-level checks and lints
+    // ----------------------------------------------------------------
+
+    fn check_exports(&mut self) {
+        let exports: Vec<(String, Span)> = self.prog.exports.clone();
+        for (name, span) in exports {
+            if !self.subdbs.contains_key(&name) && !self.external.contains(&name) {
+                self.err(
+                    "E002",
+                    format!("exported subdatabase `{name}` is derived by no rule"),
+                    span,
+                    "export",
+                );
+            }
+        }
+    }
+
+    /// W102: rules deriving subdatabases that no query, export, or live
+    /// downstream rule ever reads. Only meaningful when the program states
+    /// its outputs (has at least one query or export).
+    fn lint_dead_rules(&mut self) {
+        if self.prog.queries.is_empty() && self.prog.exports.is_empty() {
+            return;
+        }
+        let mut live: FxHashSet<String> = FxHashSet::default();
+        let mut frontier: Vec<String> = Vec::new();
+        for (name, _) in &self.prog.exports {
+            frontier.push(name.clone());
+        }
+        for q in &self.prog.queries {
+            frontier.extend(referenced_subdbs(&q.query));
+        }
+        while let Some(name) = frontier.pop() {
+            if !live.insert(name.clone()) {
+                continue;
+            }
+            for dep in self.graph.deps_of(&name) {
+                frontier.push(dep.clone());
+            }
+        }
+        let mut dead = Vec::new();
+        for pr in &self.prog.rules {
+            if !live.contains(&pr.rule.target_subdb) {
+                dead.push((
+                    pr.rule.name.clone(),
+                    pr.rule.target_subdb.clone(),
+                    pr.header,
+                ));
+            }
+        }
+        for (rule, subdb, span) in dead {
+            self.warn(
+                "W102",
+                format!(
+                    "dead rule: `{subdb}` is never read by a query, an export, or a \
+                     live downstream rule"
+                ),
+                span,
+                &rule,
+            );
+        }
+    }
+
+    /// W103: two rules with identical bodies (same context, WHERE, target
+    /// subdatabase, and targets).
+    fn lint_duplicates(&mut self) {
+        let rules = &self.prog.rules;
+        let mut dups = Vec::new();
+        for j in 1..rules.len() {
+            for i in 0..j {
+                let (a, b) = (&rules[i].rule, &rules[j].rule);
+                if a.context == b.context
+                    && a.where_ == b.where_
+                    && a.target_subdb == b.target_subdb
+                    && a.targets == b.targets
+                {
+                    dups.push((b.name.clone(), a.name.clone(), rules[j].header));
+                    break;
+                }
+            }
+        }
+        for (dup, orig, span) in dups {
+            self.warn(
+                "W103",
+                format!("rule `{dup}` duplicates the body of rule `{orig}`"),
+                span,
+                &dup,
+            );
+        }
+    }
+}
+
+/// Subdatabases a rule reads exclusively through occurrences whose every
+/// incident edge is `!` (non-association) — the negated reads that make a
+/// dependency cycle a negation-through-derivation cycle (E015).
+fn negated_reads(rule: &Rule) -> FxHashSet<String> {
+    let sh = shape(&rule.context.seq);
+    let n = sh.occs.len();
+    let mut positive: FxHashSet<&str> = FxHashSet::default();
+    let mut negative: FxHashSet<&str> = FxHashSet::default();
+    for (i, (cref, _)) in sh.occs.iter().enumerate() {
+        let Some(sd) = &cref.subdb else { continue };
+        let mut any_pos = n == 1;
+        if i > 0 && sh.ops[i - 1] == PatOp::Assoc {
+            any_pos = true;
+        }
+        if i < sh.ops.len() && sh.ops[i] == PatOp::Assoc {
+            any_pos = true;
+        }
+        if rule.context.closure.is_some() && (i == 0 || i == n - 1) {
+            any_pos = true;
+        }
+        if any_pos {
+            positive.insert(sd.as_str());
+        } else {
+            negative.insert(sd.as_str());
+        }
+    }
+    negative
+        .into_iter()
+        .filter(|s| !positive.contains(s))
+        .map(|s| s.to_string())
+        .collect()
+}
+
+fn literal_dtype(l: &Literal) -> DType {
+    match l {
+        Literal::Int(_) => DType::Int,
+        Literal::Real(_) => DType::Real,
+        Literal::Str(_) => DType::Str,
+    }
+}

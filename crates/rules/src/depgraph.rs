@@ -75,7 +75,11 @@ impl DepGraph {
         match state.get(name) {
             Some(2) => return Ok(()),
             Some(1) => {
-                let mut cycle = stack.clone();
+                // The DFS stack holds the path from the traversal root; only
+                // the suffix from the first occurrence of `name` is the
+                // actual dependency cycle.
+                let first = stack.iter().position(|n| n == name).unwrap_or(0);
+                let mut cycle = stack[first..].to_vec();
                 cycle.push(name.to_string());
                 return Err(RuleError::CyclicRules(cycle));
             }
@@ -193,6 +197,29 @@ mod tests {
         ]);
         let g = DepGraph::build(&rs);
         assert!(matches!(g.topo_order(), Err(RuleError::CyclicRules(_))));
+    }
+
+    #[test]
+    fn cycle_path_excludes_dfs_prefix() {
+        // A depends on X, and X <-> Y form the cycle: the reported path must
+        // be the cycle itself (X -> Y -> X), not the DFS stack with the
+        // non-cycle prefix A.
+        let rs = rules(&[
+            ("Ra", "if context X:C * A then SA (A)"),
+            ("Rx", "if context Y:C * B then X (B)"),
+            ("Ry", "if context X:B * C then Y (C)"),
+        ]);
+        let g = DepGraph::build(&rs);
+        match g.topo_order() {
+            Err(RuleError::CyclicRules(path)) => {
+                assert_eq!(path.first(), path.last());
+                assert!(!path.contains(&"SA".to_string()), "non-cycle prefix leaked: {path:?}");
+                let mut sorted: Vec<_> = path[..path.len() - 1].to_vec();
+                sorted.sort();
+                assert_eq!(sorted, vec!["X".to_string(), "Y".to_string()]);
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
     }
 
     #[test]

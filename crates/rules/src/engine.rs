@@ -21,6 +21,8 @@ use crate::derive::{apply_rule, eval_rule_context, layouts_compatible, project_t
 use crate::error::RuleError;
 use crate::maintain::{dirty_closure, incremental_apply, supports_incremental};
 use crate::parser::parse_rule;
+use crate::program::Program;
+use dood_core::diag::Diagnostic;
 use dood_core::fxhash::{FxHashMap, FxHashSet};
 use dood_core::ids::{ClassId, Oid};
 use dood_core::pool::ChunkPool;
@@ -75,6 +77,8 @@ pub struct RuleEngine {
     incremental: bool,
     /// Cached IF-contexts per rule (incremental mode).
     ctx_cache: FxHashMap<String, dood_core::subdb::Subdatabase>,
+    /// Treat analyzer warnings as fatal in [`RuleEngine::register`].
+    strict: bool,
     /// Dirty objects of the update batch being propagated, when any.
     current_dirty: Option<std::collections::BTreeSet<Oid>>,
 }
@@ -100,6 +104,7 @@ impl RuleEngine {
             incremental: false,
             ctx_cache: FxHashMap::default(),
             current_dirty: None,
+            strict: false,
         }
     }
 
@@ -177,12 +182,19 @@ impl RuleEngine {
             .unwrap_or(ChainStrategy::Backward)
     }
 
-    /// Register a rule from source text.
+    /// Register a rule from source text. This is the *unchecked* path: the
+    /// rule is parsed and the dependency graph kept acyclic, but no static
+    /// analysis runs (resolution errors surface at derivation time). Use
+    /// [`RuleEngine::register`] for the analyzed path.
     pub fn add_rule(&mut self, name: &str, src: &str) -> Result<(), RuleError> {
-        if self.rules.iter().any(|r| r.name == name) {
-            return Err(RuleError::DuplicateRule(name.to_string()));
-        }
         let rule = parse_rule(name, src)?;
+        self.add_parsed_rule(rule)
+    }
+
+    fn add_parsed_rule(&mut self, rule: Rule) -> Result<(), RuleError> {
+        if self.rules.iter().any(|r| r.name == rule.name) {
+            return Err(RuleError::DuplicateRule(rule.name));
+        }
         let reads = self.rule_base_reads(&rule);
         self.rules.push(rule);
         self.base_reads.push(reads);
@@ -190,6 +202,50 @@ impl RuleEngine {
         // Reject cyclic rule sets eagerly.
         self.graph.topo_order()?;
         Ok(())
+    }
+
+    /// Treat analyzer warnings as fatal in [`RuleEngine::register`].
+    pub fn set_strict(&mut self, on: bool) {
+        self.strict = on;
+    }
+
+    /// Register a whole rule program through the static analyzer
+    /// ([`crate::analyze`]). Subdatabases already known to the engine —
+    /// registered externally or derived by previously added rules — are
+    /// legal sources for the program's rules.
+    ///
+    /// On success every rule of the program is added and the (non-fatal)
+    /// diagnostics are returned. If the analyzer reports any error — or any
+    /// warning under [`RuleEngine::set_strict`] — the program is rejected
+    /// *before any rule is added*, so no derivation can ever run over an
+    /// ill-typed, unsafe, or unstratifiable program.
+    pub fn register(&mut self, program: &Program) -> Result<Vec<Diagnostic>, RuleError> {
+        let mut external: FxHashSet<String> =
+            self.registry.names().into_iter().map(str::to_string).collect();
+        for r in &self.rules {
+            external.insert(r.target_subdb.clone());
+        }
+        let mut diags = crate::analyze::analyze(program, self.db.schema(), &external);
+        for pr in &program.rules {
+            if self.rules.iter().any(|r| r.name == pr.rule.name) {
+                diags.push(
+                    Diagnostic::error(
+                        "E016",
+                        format!("rule `{}` is already registered", pr.rule.name),
+                    )
+                    .with_span(pr.header, &program.source)
+                    .with_owner(pr.rule.name.clone()),
+                );
+            }
+        }
+        dood_core::diag::sort(&mut diags);
+        if dood_core::diag::has_errors(&diags) || (self.strict && !diags.is_empty()) {
+            return Err(RuleError::Analysis(diags));
+        }
+        for pr in &program.rules {
+            self.add_parsed_rule(pr.rule.clone())?;
+        }
+        Ok(diags)
     }
 
     /// Base classes a rule's IF clause reads, closed over the

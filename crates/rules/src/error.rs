@@ -1,5 +1,6 @@
 //! Rule-engine errors.
 
+use dood_core::diag::{self, Diagnostic};
 use dood_oql::error::{ParseError, QueryError};
 use std::fmt;
 
@@ -26,6 +27,9 @@ pub enum RuleError {
     /// Reference to a subdatabase that no rule derives and that is not
     /// registered.
     UnderivableSubdb(String),
+    /// The static analyzer rejected the program ([`crate::analyze`]); the
+    /// payload carries every diagnostic, errors and warnings alike.
+    Analysis(Vec<Diagnostic>),
 }
 
 impl fmt::Display for RuleError {
@@ -49,6 +53,14 @@ impl fmt::Display for RuleError {
             ),
             RuleError::UnderivableSubdb(s) => {
                 write!(f, "no rule derives subdatabase `{s}` and it is not registered")
+            }
+            RuleError::Analysis(diags) => {
+                let (e, w) = diag::counts(diags);
+                write!(f, "program rejected by the analyzer: {e} error(s), {w} warning(s)")?;
+                for d in diags {
+                    write!(f, "\n  {}", d.headline(""))?;
+                }
+                Ok(())
             }
         }
     }

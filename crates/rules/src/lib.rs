@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod ast;
 pub mod depgraph;
 pub mod derive;
@@ -16,11 +17,14 @@ pub mod engine;
 pub mod error;
 pub mod maintain;
 pub mod parser;
+pub mod program;
 
+pub use analyze::analyze;
 pub use ast::{Rule, TargetItem};
 pub use depgraph::DepGraph;
 pub use derive::{apply_rule, eval_rule_context, project_targets};
 pub use maintain::{dirty_closure, incremental_apply, incremental_context, supports_incremental};
 pub use engine::{ChainStrategy, ControlMode, EvalPolicy, RuleEngine};
 pub use error::RuleError;
-pub use parser::parse_rule;
+pub use parser::{parse_rule, parse_rule_spanned, RuleSpans};
+pub use program::{Program, ProgramQuery, ProgramRule, SchemaRef};

@@ -11,42 +11,91 @@
 //! (the paper's `Grad*`) selects every closure level of `C`.
 
 use crate::ast::{Rule, TargetItem};
+use dood_core::diag::Span;
 use dood_oql::error::ParseError;
 use dood_oql::parser::Parser as OqlParser;
 use dood_oql::token::Token;
 
-/// Parse one rule. `name` is the rule's identifier in the rule set.
-pub fn parse_rule(name: &str, src: &str) -> Result<Rule, ParseError> {
-    let mut p = OqlParser::new(src)?;
-    p.expect(&Token::If)?;
-    p.expect(&Token::Context)?;
-    let context = p.context_expr()?;
-    let mut where_ = Vec::new();
-    if matches!(p.peek(), Token::Where) {
-        p.bump();
-        where_ = p.where_conds()?;
-    }
-    p.expect(&Token::Then)?;
-    let target_subdb = p.ident()?;
-    p.expect(&Token::LParen)?;
-    let mut targets = vec![target_item(&mut p)?];
-    while matches!(p.peek(), Token::Comma) {
-        p.bump();
-        targets.push(target_item(&mut p)?);
-    }
-    p.expect(&Token::RParen)?;
-    if matches!(p.peek(), Token::Where) {
-        p.bump();
-        let mut more = p.where_conds()?;
-        where_.append(&mut more);
-    }
-    if !p.at_eof() {
-        return Err(ParseError::new(p.at(), format!("unexpected `{}`", p.peek())));
-    }
-    Ok(Rule { name: name.to_string(), context, where_, target_subdb, targets })
+/// Source spans of a parsed rule's parts, for analyzer diagnostics. All
+/// offsets are relative to the rule source passed to [`parse_rule_spanned`];
+/// embedders (the `.dood` program loader) shift them to absolute positions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuleSpans {
+    /// Context class occurrences, in textual (flatten) order.
+    pub occurrences: Vec<Span>,
+    /// WHERE conditions, in textual order.
+    pub wheres: Vec<Span>,
+    /// THEN-clause targets, in order.
+    pub targets: Vec<Span>,
+    /// The THEN-clause subdatabase name.
+    pub target_subdb: Span,
 }
 
-fn target_item(p: &mut OqlParser) -> Result<TargetItem, ParseError> {
+impl RuleSpans {
+    /// All spans shifted right by `by` bytes.
+    pub fn shifted(&self, by: usize) -> RuleSpans {
+        RuleSpans {
+            occurrences: self.occurrences.iter().map(|s| s.shifted(by)).collect(),
+            wheres: self.wheres.iter().map(|s| s.shifted(by)).collect(),
+            targets: self.targets.iter().map(|s| s.shifted(by)).collect(),
+            target_subdb: self.target_subdb.shifted(by),
+        }
+    }
+}
+
+/// Parse one rule. `name` is the rule's identifier in the rule set.
+pub fn parse_rule(name: &str, src: &str) -> Result<Rule, ParseError> {
+    parse_rule_spanned(name, src).map(|(r, _)| r)
+}
+
+/// Parse one rule, also returning the source spans of its parts.
+pub fn parse_rule_spanned(name: &str, src: &str) -> Result<(Rule, RuleSpans), ParseError> {
+    let mut p = OqlParser::new(src)?;
+    let mut spans = RuleSpans::default();
+    let inner = |p: &mut OqlParser, spans: &mut RuleSpans| -> Result<Rule, ParseError> {
+        p.expect(&Token::If)?;
+        p.expect(&Token::Context)?;
+        let context = p.context_expr()?;
+        let mut where_ = Vec::new();
+        if matches!(p.peek(), Token::Where) {
+            p.bump();
+            where_ = p.where_conds()?;
+        }
+        p.expect(&Token::Then)?;
+        let subdb_start = p.at();
+        let target_subdb = p.ident()?;
+        spans.target_subdb = p.span_since(subdb_start);
+        p.expect(&Token::LParen)?;
+        let mut targets = vec![target_item(p, spans)?];
+        while matches!(p.peek(), Token::Comma) {
+            p.bump();
+            targets.push(target_item(p, spans)?);
+        }
+        p.expect(&Token::RParen)?;
+        if matches!(p.peek(), Token::Where) {
+            p.bump();
+            let mut more = p.where_conds()?;
+            where_.append(&mut more);
+        }
+        if !p.at_eof() {
+            return Err(ParseError::new(p.at(), format!("unexpected `{}`", p.peek())));
+        }
+        Ok(Rule { name: name.to_string(), context, where_, target_subdb, targets })
+    };
+    let rule = inner(&mut p, &mut spans).map_err(|e| p.locate(e))?;
+    spans.occurrences = p.occurrence_spans().to_vec();
+    spans.wheres = p.where_spans().to_vec();
+    Ok((rule, spans))
+}
+
+fn target_item(p: &mut OqlParser, spans: &mut RuleSpans) -> Result<TargetItem, ParseError> {
+    let start = p.at();
+    let item = target_item_inner(p)?;
+    spans.targets.push(p.span_since(start));
+    Ok(item)
+}
+
+fn target_item_inner(p: &mut OqlParser) -> Result<TargetItem, ParseError> {
     let class = p.classref()?;
     // `Grad_*` lexes as Ident("Grad_") Star.
     if class.subdb.is_none() && class.name.ends_with('_') && matches!(p.peek(), Token::Star) {

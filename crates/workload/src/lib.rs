@@ -12,4 +12,5 @@
 pub mod cad;
 pub mod company;
 pub mod figures;
+pub mod programs;
 pub mod university;

@@ -1,0 +1,130 @@
+//! Built-in `.dood` rule programs over the workload schemas — the clean
+//! corpus for the static analyzer (`dood-rules::analyze`) and the `doodlint`
+//! CLI. Every program here must lint with **zero diagnostics**: they are the
+//! paper's §4/§5 worked examples and the §6 chaining shapes, so a diagnostic
+//! on any of them is an analyzer false positive (regression-tested in
+//! `tests/analyzer.rs`).
+
+use dood_core::schema::Schema;
+
+/// The paper's university rule program: R1–R7 (§4 derivation rules, §5.2
+/// closure rules) plus query 4.1 and the §5.1 brace-retention query.
+pub const UNIVERSITY: &str = "\
+-- Paper §4/§5 university program (Fig. 2.1 schema; rules R1-R7).
+schema builtin university
+
+rule R1:
+  if context Teacher * Section * Course
+  then Teacher_course (Teacher, Course)
+
+rule R2:
+  if context Department [name = 'CIS'] * Course * Section * Student
+  where count(Student by Course) > 10
+  then Suggest_offer (Course)
+
+rule R3:
+  if context Department * Suggest_offer:Course
+  then Deps_need_res (Department)
+  where count(Suggest_offer:Course by Department) > 2
+
+rule R4:
+  if context TA * Teacher * Section * Suggest_offer:Course
+  then May_teach (TA, Course)
+
+rule R5:
+  if context TA * Grad * Transcript [grade <= 'B'] * Course [c# < 5000]
+  then May_teach (TA, Course)
+
+rule R6:
+  if context Grad * TA * Teacher * Section * Student ^*
+  then Grad_teaching_grad (Grad, Grad_*)
+
+rule R7:
+  if context Grad * TA * Teacher * Section * Student ^*
+  then First_and_third (Grad, Grad_2)
+
+query Q41:
+  context Faculty * Advising * May_teach:TA [GPA < 3.5]
+  select TA [name], Faculty [name]
+  display
+
+query Q51:
+  context { Teacher * Section } * Course display
+
+export Teacher_course Deps_need_res Grad_teaching_grad First_and_third
+";
+
+/// The §6 chaining-scenario shape over the company schema: a four-deep
+/// derivation chain `REa → REb → REc → REd`.
+pub const COMPANY: &str = "\
+-- Company chaining program (the §6 Ra..Rd derivation chain).
+schema builtin company
+
+rule Ra:
+  if context Employee * Department
+  then REa (Employee, Department)
+
+rule Rb:
+  if context REa:Employee * Project
+  then REb (Employee, Project)
+
+rule Rc:
+  if context REb:Employee * REb:Project
+  where Employee.salary > 50
+  then REc (Employee)
+
+rule Rd:
+  if context Manager * REc:Employee
+  then REd (Manager)
+
+query QC:
+  context REa:Employee * REa:Department display
+
+export REd
+";
+
+/// The CAD part-explosion program: the §5.2 transitive closure over the
+/// `Component` self-association, with a family target.
+pub const CAD: &str = "\
+-- CAD bill-of-materials part explosion (paper §5.2 closure).
+schema builtin cad
+
+rule RX:
+  if context Part ^*
+  then Explosion (Part, Part_*)
+
+query QX:
+  context Supplier * Part display
+
+export Explosion
+";
+
+/// All built-in programs as `(name, text)` pairs.
+pub fn all() -> Vec<(&'static str, &'static str)> {
+    vec![("university", UNIVERSITY), ("company", COMPANY), ("cad", CAD)]
+}
+
+/// Resolve a `schema builtin <name>` reference to a workload schema.
+pub fn builtin_schema(name: &str) -> Option<Schema> {
+    match name {
+        "university" => Some(crate::university::schema()),
+        "company" => Some(crate::company::schema()),
+        "cad" => Some(crate::cad::schema()),
+        "fig31" => Some(crate::figures::fig_3_1_schema()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_schemas_resolve() {
+        for (name, _) in all() {
+            assert!(builtin_schema(name).is_some(), "schema `{name}` missing");
+        }
+        assert!(builtin_schema("fig31").is_some());
+        assert!(builtin_schema("nope").is_none());
+    }
+}

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# The per-PR gate: tier-1 verify (ROADMAP.md), the hermeticity check, and a
+# The per-PR gate: tier-1 verify (ROADMAP.md), a warnings-as-errors build,
+# doodlint over every built-in rule program, the hermeticity check, and a
 # 2-thread smoke run of the parallel bench so the chunked evaluation path is
 # exercised on every PR even when the full bench suite isn't run.
 #
@@ -12,6 +13,15 @@ cd "$(dirname "$0")/.."
 echo "== ci: tier-1 verify (cargo build --release && cargo test -q) =="
 cargo build --release
 cargo test -q
+
+echo "== ci: warnings-as-errors build =="
+RUSTFLAGS="-D warnings" cargo build --workspace
+
+echo "== ci: doodlint over the built-in rule programs =="
+cargo run -q --release --bin doodlint -- --strict --builtin
+if compgen -G "programs/*.dood" > /dev/null; then
+    cargo run -q --release --bin doodlint -- --strict programs/*.dood
+fi
 
 echo "== ci: hermeticity =="
 scripts/check_hermetic.sh

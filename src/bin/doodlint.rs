@@ -1,0 +1,143 @@
+//! `doodlint` — the static analyzer CLI for `.dood` rule programs.
+//!
+//! ```text
+//! doodlint [--strict] [--schema NAME] [--builtin] [FILE.dood ...]
+//! ```
+//!
+//! Lints each program file (and, with `--builtin`, the built-in workload
+//! programs) against its schema: `schema builtin <name>` headers resolve to
+//! the workload schemas (`university`, `company`, `cad`, `fig31`),
+//! `schema inline … end` blocks are parsed as schema DDL, and `--schema`
+//! supplies a default for programs without a header. Exits nonzero when any
+//! program has errors — or warnings, under `--strict`.
+
+use dood_core::diag::{self, Diagnostic, Span};
+use dood_core::schema::text::parse_schema;
+use dood_core::schema::Schema;
+use dood_rules::analyze::analyze;
+use dood_rules::program::{Program, SchemaRef};
+use dood_workload::programs;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: doodlint [--strict] [--schema NAME] [--builtin] [FILE.dood ...]
+  --strict       treat warnings as fatal
+  --schema NAME  default schema for programs without a `schema` header
+                 (university | company | cad | fig31)
+  --builtin      also lint the built-in workload programs";
+
+fn main() -> ExitCode {
+    let mut files = Vec::new();
+    let mut strict = false;
+    let mut default_schema: Option<String> = None;
+    let mut builtin = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--strict" => strict = true,
+            "--builtin" => builtin = true,
+            "--schema" => match args.next() {
+                Some(n) => default_schema = Some(n),
+                None => {
+                    eprintln!("doodlint: `--schema` needs a name\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("doodlint: unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() && !builtin {
+        eprintln!("doodlint: no input\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut io_failed = false;
+    let mut sources: Vec<(String, String)> = Vec::new();
+    if builtin {
+        for (name, text) in programs::all() {
+            sources.push((format!("builtin:{name}"), text.to_string()));
+        }
+    }
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(text) => sources.push((f.clone(), text)),
+            Err(e) => {
+                eprintln!("doodlint: {f}: {e}");
+                io_failed = true;
+            }
+        }
+    }
+
+    for (file, src) in &sources {
+        let (e, w) = lint_one(file, src, default_schema.as_deref());
+        errors += e;
+        warnings += w;
+    }
+
+    let checked = sources.len();
+    println!(
+        "doodlint: {checked} program(s) checked, {errors} error(s), {warnings} warning(s)"
+    );
+    if io_failed {
+        ExitCode::from(2)
+    } else if errors > 0 || (strict && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Lint one program source; prints its diagnostics and per-file summary,
+/// returns `(errors, warnings)`.
+fn lint_one(file: &str, src: &str, default_schema: Option<&str>) -> (usize, usize) {
+    let (program, mut diags) = Program::parse(src);
+    match resolve_schema(&program, src, default_schema) {
+        Ok(schema) => {
+            diags.extend(analyze(&program, &schema, &Default::default()));
+        }
+        Err(d) => diags.push(d),
+    }
+    diag::sort(&mut diags);
+    if diags.is_empty() {
+        println!("{file}: OK");
+    } else {
+        println!("{}", diag::render_all(&diags, file, src));
+    }
+    diag::counts(&diags)
+}
+
+/// Resolve the program's schema reference (or the `--schema` default).
+fn resolve_schema(
+    program: &Program,
+    src: &str,
+    default_schema: Option<&str>,
+) -> Result<Schema, Diagnostic> {
+    match &program.schema {
+        Some(SchemaRef::Builtin { name, span }) => programs::builtin_schema(name).ok_or_else(|| {
+            Diagnostic::error("P001", format!("unknown builtin schema `{name}`"))
+                .with_span(*span, src)
+        }),
+        Some(SchemaRef::Inline { text, offset }) => parse_schema(text).map_err(|e| {
+            Diagnostic::error("P001", format!("inline schema: {e}"))
+                .with_span(Span::point(*offset), src)
+        }),
+        None => match default_schema {
+            Some(name) => programs::builtin_schema(name).ok_or_else(|| {
+                Diagnostic::error("P001", format!("unknown `--schema` name `{name}`"))
+            }),
+            None => Err(Diagnostic::error(
+                "P001",
+                "program has no `schema` directive and no `--schema` default was given",
+            )),
+        },
+    }
+}

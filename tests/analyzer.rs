@@ -1,0 +1,467 @@
+//! Golden diagnostics for the static analyzer (`dood::rules::analyze`):
+//! the paper's §4/§5 programs must lint **clean** (zero diagnostics — any
+//! finding is a false positive), each broken variant must produce exactly
+//! its expected code, and `RuleEngine::register` must reject error-level
+//! programs before any derivation runs. A propcheck property checks the
+//! closure guarantee the analyzer is meant to provide: programs it accepts
+//! never fail (or panic) during forward or backward evaluation.
+
+use dood::core::diag::{has_errors, Diagnostic};
+use dood::core::fxhash::FxHashSet;
+use dood::core::propcheck::{check, Gen};
+use dood::rules::analyze::analyze;
+use dood::rules::program::{Program, SchemaRef};
+use dood::rules::{RuleEngine, RuleError};
+use dood::workload::{programs, university};
+
+/// Parse + analyze a program text against its `schema builtin` header
+/// (defaulting to the university schema).
+fn lint(src: &str) -> Vec<Diagnostic> {
+    let (prog, parse_diags) = Program::parse(src);
+    assert!(parse_diags.is_empty(), "unexpected parse diagnostics: {parse_diags:?}");
+    let name = match &prog.schema {
+        Some(SchemaRef::Builtin { name, .. }) => name.clone(),
+        _ => "university".to_string(),
+    };
+    let schema = programs::builtin_schema(&name).expect("builtin schema");
+    analyze(&prog, &schema, &FxHashSet::default())
+}
+
+fn codes(src: &str) -> Vec<&'static str> {
+    lint(src).iter().map(|d| d.code).collect()
+}
+
+// ---------------------------------------------------------------------
+// Clean corpus: zero false positives
+// ---------------------------------------------------------------------
+
+#[test]
+fn clean_corpus_has_zero_diagnostics() {
+    for (name, text) in programs::all() {
+        let diags = lint(text);
+        assert!(
+            diags.is_empty(),
+            "false positive(s) on clean program `{name}`:\n{}",
+            dood::core::diag::render_all(&diags, name, text)
+        );
+    }
+}
+
+#[test]
+fn clean_university_program_registers_and_derives() {
+    let (prog, parse_diags) = Program::parse(programs::UNIVERSITY);
+    assert!(parse_diags.is_empty());
+    let db = university::populate(university::Size::small(), 7);
+    let mut engine = RuleEngine::new(db);
+    let warnings = engine.register(&prog).expect("clean program accepted");
+    assert!(warnings.is_empty(), "{warnings:?}");
+    // The derived subdatabases actually evaluate.
+    for name in ["Teacher_course", "Suggest_offer", "May_teach", "Grad_teaching_grad"] {
+        engine.derive(name).unwrap_or_else(|e| panic!("derive {name}: {e}"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Broken corpus: each error class, with source anchoring
+// ---------------------------------------------------------------------
+
+#[test]
+fn unknown_class_e001() {
+    let diags = lint(
+        "schema builtin university\nrule B:\n  if context Teachr * Section then X (Teachr)\nexport X\n",
+    );
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["E001"]);
+    // Anchored at `Teachr` on line 3.
+    assert_eq!(diags[0].line, 3);
+    assert_eq!(diags[0].owner.as_deref(), Some("B"));
+    assert!(diags[0].message.contains("Teachr"));
+}
+
+#[test]
+fn unknown_subdb_e002() {
+    let c = codes(
+        "schema builtin university\nrule B:\n  if context Teacher * Nope:Section then X (Teacher)\nexport X\n",
+    );
+    assert_eq!(c, vec!["E002"]);
+}
+
+#[test]
+fn extern_silences_unknown_subdb() {
+    let c = codes(
+        "schema builtin university\nextern Nope\nrule B:\n  if context Teacher * Nope:Section then X (Teacher)\nexport X\n",
+    );
+    assert!(c.is_empty(), "{c:?}");
+}
+
+#[test]
+fn unknown_slot_in_subdb_e003() {
+    let c = codes(
+        "schema builtin university\n\
+         rule A:\n  if context Teacher * Section then SD (Teacher)\n\
+         rule B:\n  if context SD:Section * Course then X (Course)\nexport X\n",
+    );
+    assert_eq!(c, vec!["E003"]);
+}
+
+#[test]
+fn ambiguous_association_e004() {
+    // `TA * Section` is the paper's §2 ambiguity: Enrolls via Student vs
+    // Teaches via Teacher.
+    let diags = lint(
+        "schema builtin university\nrule B:\n  if context TA * Section then X (TA)\nexport X\n",
+    );
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["E004"]);
+    assert!(diags[0].message.contains("Enrolls") && diags[0].message.contains("Teaches"));
+}
+
+#[test]
+fn no_association_e005() {
+    let c = codes(
+        "schema builtin university\nrule B:\n  if context Department * Transcript then X (Department)\nexport X\n",
+    );
+    assert_eq!(c, vec!["E005"]);
+}
+
+#[test]
+fn unknown_attribute_e006() {
+    let c = codes(
+        "schema builtin university\nrule B:\n  if context Course [price > 3] * Section then X (Course)\nexport X\n",
+    );
+    assert_eq!(c, vec!["E006"]);
+}
+
+#[test]
+fn type_mismatch_e007() {
+    // `title` is a string; comparing with an integer literal can never be
+    // satisfied meaningfully.
+    let c = codes(
+        "schema builtin university\nrule B:\n  if context Course [title > 3] * Section then X (Course)\nexport X\n",
+    );
+    assert_eq!(c, vec!["E007"]);
+}
+
+#[test]
+fn projected_away_attribute_e008() {
+    // Rule A retains only `title` of Course; rule B then filters on `c#`.
+    let c = codes(
+        "schema builtin university\n\
+         rule A:\n  if context Course * Section then SD (Course [title])\n\
+         rule B:\n  if context SD:Course [c# < 5000] * Department then X (Department)\nexport X\n",
+    );
+    assert_eq!(c, vec!["E008"]);
+}
+
+#[test]
+fn unknown_where_operand_e009() {
+    let c = codes(
+        "schema builtin university\nrule B:\n  if context Teacher * Section \
+         where Student.name = 'x' then X (Teacher)\nexport X\n",
+    );
+    assert_eq!(c, vec!["E009"]);
+}
+
+#[test]
+fn non_numeric_aggregate_e010() {
+    let c = codes(
+        "schema builtin university\nrule B:\n  if context Course * Section \
+         where sum(Course.title) > 3 then X (Course)\nexport X\n",
+    );
+    assert_eq!(c, vec!["E010"]);
+}
+
+#[test]
+fn bad_target_e011() {
+    let c = codes(
+        "schema builtin university\nrule B:\n  if context Teacher * Section then X (Department)\nexport X\n",
+    );
+    assert_eq!(c, vec!["E011"]);
+    // A family target without a closure is also E011.
+    let c = codes(
+        "schema builtin university\nrule B:\n  if context Teacher * Section then X (Teacher, Teacher_*)\nexport X\n",
+    );
+    assert_eq!(c, vec!["E011"]);
+}
+
+#[test]
+fn layout_mismatch_e012() {
+    let c = codes(
+        "schema builtin university\n\
+         rule A:\n  if context Teacher * Section * Course then SD (Teacher, Course)\n\
+         rule B:\n  if context Teacher * Section then SD (Teacher)\nexport SD\n",
+    );
+    assert_eq!(c, vec!["E012"]);
+}
+
+#[test]
+fn unsafe_target_e013() {
+    // `Section` is constrained only by the non-association operator: there
+    // is no positive binding to range over.
+    let diags = lint(
+        "schema builtin university\nrule B:\n  if context Teacher ! Section then X (Section)\nexport X\n",
+    );
+    let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+    assert!(codes.contains(&"E013"), "{codes:?}");
+    // The non-target `!`-only occurrence is a warning, not an error.
+    assert!(codes.contains(&"W101"), "{codes:?}");
+}
+
+#[test]
+fn cyclic_rules_e014_names_full_path() {
+    let diags = lint(
+        "schema builtin university\n\
+         rule C1:\n  if context Teacher * SDB:Section then SDA (Teacher)\n\
+         rule C2:\n  if context Section * SDA:Teacher then SDB (Section)\n\
+         export SDA SDB\n",
+    );
+    let cycle: Vec<_> = diags.iter().filter(|d| d.code == "E014").collect();
+    assert_eq!(cycle.len(), 1, "{diags:?}");
+    // The message carries the actual cycle path and the notes name the
+    // rules that close it.
+    assert!(cycle[0].message.contains("SDA -> SDB -> SDA")
+        || cycle[0].message.contains("SDB -> SDA -> SDB"), "{}", cycle[0].message);
+    assert!(cycle[0].notes.iter().any(|n| n.contains("C1")), "{:?}", cycle[0].notes);
+    assert!(cycle[0].notes.iter().any(|n| n.contains("C2")), "{:?}", cycle[0].notes);
+    assert!(!diags.iter().any(|d| d.code == "E015"));
+}
+
+#[test]
+fn negation_cycle_e015() {
+    let diags = lint(
+        "schema builtin university\n\
+         rule N1:\n  if context Teacher * SDB:Section then SDA (Teacher)\n\
+         rule N2:\n  if context Section ! SDA:Teacher then SDB (Section)\n\
+         export SDA SDB\n",
+    );
+    let cycle: Vec<_> = diags.iter().filter(|d| d.code == "E015").collect();
+    assert_eq!(cycle.len(), 1, "{diags:?}");
+    assert!(cycle[0].notes.iter().any(|n| n.contains("N2") && n.contains("!")));
+    assert!(!diags.iter().any(|d| d.code == "E014"));
+}
+
+#[test]
+fn duplicate_rule_name_e016() {
+    let c = codes(
+        "schema builtin university\n\
+         rule R:\n  if context Teacher * Section then X (Teacher)\n\
+         rule R:\n  if context Student * Section then Y (Student)\n\
+         export X Y\n",
+    );
+    assert_eq!(c, vec!["E016"]);
+}
+
+// ---------------------------------------------------------------------
+// Lints
+// ---------------------------------------------------------------------
+
+#[test]
+fn dead_rule_w102() {
+    let diags = lint(
+        "schema builtin university\n\
+         rule Live:\n  if context Teacher * Section then L (Teacher)\n\
+         rule Dead:\n  if context Student * Section then D (Student)\n\
+         export L\n",
+    );
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["W102"]);
+    assert_eq!(diags[0].owner.as_deref(), Some("Dead"));
+}
+
+#[test]
+fn no_dead_rule_lint_without_stated_outputs() {
+    // A bare rule set states no outputs, so liveness is undecidable — no
+    // W102.
+    let c = codes(
+        "schema builtin university\nrule R:\n  if context Teacher * Section then L (Teacher)\n",
+    );
+    assert!(c.is_empty(), "{c:?}");
+}
+
+#[test]
+fn upstream_of_live_rule_is_live() {
+    let c = codes(
+        "schema builtin university\n\
+         rule A:\n  if context Teacher * Section then SD (Teacher)\n\
+         rule B:\n  if context SD:Teacher * Section then X (Teacher)\n\
+         export X\n",
+    );
+    assert!(c.is_empty(), "{c:?}");
+}
+
+#[test]
+fn duplicate_body_w103() {
+    let c = codes(
+        "schema builtin university\n\
+         rule A:\n  if context Teacher * Section then X (Teacher)\n\
+         rule B:\n  if context Teacher * Section then X (Teacher)\n\
+         export X\n",
+    );
+    assert_eq!(c, vec!["W103"]);
+}
+
+#[test]
+fn null_propagation_w104() {
+    // Brace retention keeps Teacher*Section patterns with a Null Course
+    // slot; the `=` comparison then silently drops exactly those patterns.
+    let diags = lint(
+        "schema builtin university\nquery Q:\n  context { Teacher * Section } * Course \
+         where Course.title = 'x' display\n",
+    );
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["W104"]);
+    // Without braces there is nothing retained, hence no lint.
+    let c = codes(
+        "schema builtin university\nquery Q:\n  context Teacher * Section * Course \
+         where Course.title = 'x' display\n",
+    );
+    assert!(c.is_empty(), "{c:?}");
+}
+
+// ---------------------------------------------------------------------
+// Engine integration
+// ---------------------------------------------------------------------
+
+#[test]
+fn register_rejects_before_any_rule_is_added() {
+    let (prog, _) = Program::parse(
+        "rule Ok_rule:\n  if context Teacher * Section then Good (Teacher)\n\
+         rule Bad:\n  if context Teachr * Section then Oops (Teachr)\nexport Good Oops\n",
+    );
+    let db = university::populate(university::Size::small(), 7);
+    let mut engine = RuleEngine::new(db);
+    match engine.register(&prog) {
+        Err(RuleError::Analysis(diags)) => {
+            assert!(has_errors(&diags));
+            assert!(diags.iter().any(|d| d.code == "E001"));
+        }
+        other => panic!("expected analysis rejection, got {other:?}"),
+    }
+    // Rejection is atomic: even the valid rule of the program was not
+    // added, so nothing can derive.
+    assert!(matches!(engine.derive("Good"), Err(RuleError::UnderivableSubdb(_))));
+}
+
+#[test]
+fn register_flags_duplicates_against_existing_rules() {
+    let db = university::populate(university::Size::small(), 7);
+    let mut engine = RuleEngine::new(db);
+    engine
+        .add_rule("R1", "if context Teacher * Section then SD (Teacher)")
+        .unwrap();
+    let (prog, _) = Program::parse(
+        "rule R1:\n  if context Student * Section then SD2 (Student)\nexport SD2\n",
+    );
+    match engine.register(&prog) {
+        Err(RuleError::Analysis(diags)) => {
+            assert!(diags.iter().any(|d| d.code == "E016"), "{diags:?}");
+        }
+        other => panic!("expected duplicate-name rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn register_sees_prior_rules_as_sources() {
+    let db = university::populate(university::Size::small(), 7);
+    let mut engine = RuleEngine::new(db);
+    engine
+        .add_rule("R1", "if context Teacher * Section then SD (Teacher)")
+        .unwrap();
+    // The program reads SD, derived by the previously added rule — legal.
+    let (prog, _) = Program::parse(
+        "rule R2:\n  if context SD:Teacher * Section then X (Teacher)\nexport X\n",
+    );
+    let warnings = engine.register(&prog).expect("SD is a known source");
+    assert!(warnings.is_empty(), "{warnings:?}");
+    engine.derive("X").unwrap();
+}
+
+#[test]
+fn strict_mode_promotes_warnings() {
+    let src = "rule Live:\n  if context Teacher * Section then L (Teacher)\n\
+               rule Dead:\n  if context Student * Section then D (Student)\nexport L\n";
+    let (prog, _) = Program::parse(src);
+    let db = university::populate(university::Size::small(), 7);
+    let mut engine = RuleEngine::new(db);
+    engine.set_strict(true);
+    assert!(matches!(engine.register(&prog), Err(RuleError::Analysis(_))));
+    // Non-strict: same program is accepted, warnings returned.
+    let db = university::populate(university::Size::small(), 7);
+    let mut engine = RuleEngine::new(db);
+    let warnings = engine.register(&prog).expect("warnings are non-fatal");
+    assert_eq!(warnings.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["W102"]);
+    engine.derive("L").unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Property: accepted programs evaluate without failure
+// ---------------------------------------------------------------------
+
+/// Random association-walk rule programs over the university schema. The
+/// generator only chains classes whose pairwise edges resolve, so the
+/// analyzer must accept every generated program (a rejection is a false
+/// positive); and because the analyzer accepted it, the engine must then
+/// derive and re-derive every target without error or panic.
+#[test]
+fn prop_accepted_programs_never_fail_evaluation() {
+    let schema = university::schema();
+    let class_names: Vec<&str> = vec![
+        "Person", "Student", "Teacher", "Grad", "TA", "RA", "Faculty", "Department", "Course",
+        "Section", "Transcript", "Advising",
+    ];
+    check("analyzer_acceptance_is_sound", 25, |g: &mut Gen| {
+        // Build 1–3 chain rules.
+        let n_rules = g.range(1..4usize);
+        let mut defs: Vec<(String, String)> = Vec::new();
+        let mut exports: Vec<String> = Vec::new();
+        for r in 0..n_rules {
+            let mut chain: Vec<&str> = vec![class_names[g.range(0..class_names.len())]];
+            for _ in 0..g.range(1..4usize) {
+                let cur = schema.try_class_by_name(chain.last().unwrap()).unwrap();
+                let mut candidates: Vec<&str> = class_names
+                    .iter()
+                    .copied()
+                    .filter(|c| !chain.contains(c))
+                    .filter(|c| {
+                        schema.resolve_edge(cur, schema.try_class_by_name(c).unwrap()).is_ok()
+                    })
+                    .collect();
+                candidates.sort_unstable();
+                if candidates.is_empty() {
+                    break;
+                }
+                chain.push(candidates[g.range(0..candidates.len())]);
+            }
+            if chain.len() < 2 {
+                continue;
+            }
+            let target = chain[g.range(0..chain.len())];
+            let name = format!("G{r}");
+            let subdb = format!("GS{r}");
+            defs.push((
+                name,
+                format!("if context {} then {subdb} ({target})", chain.join(" * ")),
+            ));
+            exports.push(subdb);
+        }
+        if defs.is_empty() {
+            return;
+        }
+        let def_refs: Vec<(&str, &str)> =
+            defs.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+        let export_refs: Vec<&str> = exports.iter().map(|s| s.as_str()).collect();
+        let (prog, parse_diags) = Program::from_rules(&def_refs, &export_refs);
+        assert!(parse_diags.is_empty(), "{parse_diags:?}");
+        let diags = analyze(&prog, &schema, &FxHashSet::default());
+        assert!(
+            !has_errors(&diags),
+            "analyzer rejected a well-formed walk program:\n{}\n{prog:?}",
+            dood::core::diag::render_all(&diags, "gen", &prog.source)
+        );
+        // Accepted ⇒ evaluation must succeed end to end.
+        let db = university::populate(university::Size::small(), g.range(0..1000u64));
+        let mut engine = RuleEngine::new(db);
+        engine.register(&prog).expect("analyzer accepted");
+        for e in &exports {
+            engine.derive(e).unwrap_or_else(|err| panic!("derive {e}: {err}"));
+        }
+        // Forward maintenance over an update batch must also hold.
+        engine.propagate().unwrap_or_else(|err| panic!("propagate: {err}"));
+    });
+}
