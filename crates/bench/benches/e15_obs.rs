@@ -1,0 +1,99 @@
+//! E15 — observability overhead: the disabled-path cost of the `core::obs`
+//! instrumentation (DESIGN.md §8).
+//!
+//! Measures the per-site gate check, then the E12 association workload
+//! (~100k objects, 1 thread) three ways: gates off, under span capture,
+//! and with the metrics registry enabled. Afterwards compares the
+//! gates-off median against the `BENCH_SEED.json` pre-instrumentation
+//! baseline (`e12_parallel` `assoc/1t`): the acceptance bar is < 2%
+//! regression. Prints `PASS`/`WARN`; exits nonzero on a miss only under
+//! `DOOD_BENCH_STRICT=1` (shared hosts are noisy, so the hard gate is
+//! opt-in for `scripts/bench_snapshot.sh`).
+
+use dood_bench::harness::{fmt_ns, Harness, Record};
+use dood_bench::{assoc_query, parallel_fixture, with_threads};
+use dood_core::obs;
+use std::path::PathBuf;
+
+/// Allowed disabled-path regression vs the seed baseline (fraction).
+const OVERHEAD_BUDGET: f64 = 0.02;
+
+fn main() {
+    let mut h = Harness::new("e15_obs");
+
+    // The per-site cost when everything is off: one relaxed-atomic load.
+    h.bench("gate/trace_enabled", || obs::trace_enabled());
+    h.bench("gate/metrics_enabled", || obs::metrics_enabled());
+    h.bench("gate/span_disabled", || obs::trace::span("e15.site"));
+
+    let (db, reg) = parallel_fixture();
+    eprintln!(
+        "e15 workload: {} objects, {} association patterns",
+        db.object_count(),
+        assoc_query(&db, &reg)
+    );
+
+    with_threads(1, || {
+        h.bench("assoc/off", || assoc_query(&db, &reg));
+        h.bench("assoc/traced", || {
+            let (rows, spans) = obs::trace::capture(|| assoc_query(&db, &reg));
+            rows + spans.len()
+        });
+        obs::set_metrics_enabled(true);
+        h.bench("assoc/metrics", || assoc_query(&db, &reg));
+        obs::set_metrics_enabled(false);
+        obs::metrics::reset_all();
+    });
+
+    h.finish();
+    compare_with_seed();
+}
+
+/// Read back this run's records and the committed seed snapshot, then
+/// check the disabled-path overhead budget.
+fn compare_with_seed() {
+    if std::env::var("DOOD_BENCH_SMOKE").is_ok_and(|v| v == "1") {
+        println!("# e15 overhead check skipped (smoke mode: timings are not meaningful)");
+        return;
+    }
+    let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_default();
+    let own_path = match std::env::var_os("DOOD_BENCH_JSON") {
+        Some(dir) => PathBuf::from(dir).join("BENCH_e15_obs.json"),
+        None => workspace.join("target/bench-json/BENCH_e15_obs.json"),
+    };
+    let Some(own) = median_of(&own_path, "e15_obs", "assoc/off") else {
+        println!("# e15 overhead check skipped (no assoc/off record in {})", own_path.display());
+        return;
+    };
+    let seed_path = workspace.join("BENCH_SEED.json");
+    let Some(baseline) = median_of(&seed_path, "e12_parallel", "assoc/1t") else {
+        println!("# e15 overhead check skipped (no e12 assoc/1t baseline in {})", seed_path.display());
+        return;
+    };
+    let delta = own / baseline - 1.0;
+    let verdict = if delta < OVERHEAD_BUDGET { "PASS" } else { "WARN" };
+    println!(
+        "# e15 disabled-path overhead: {verdict} — assoc/off {} vs seed assoc/1t {} ({:+.2}%, budget {:.0}%)",
+        fmt_ns(own),
+        fmt_ns(baseline),
+        delta * 100.0,
+        OVERHEAD_BUDGET * 100.0
+    );
+    if verdict == "WARN" && std::env::var("DOOD_BENCH_STRICT").is_ok_and(|v| v == "1") {
+        eprintln!("# e15: over budget under DOOD_BENCH_STRICT=1");
+        std::process::exit(1);
+    }
+}
+
+/// The first `group`/`bench` record's median in a JSON-lines bench file.
+fn median_of(path: &PathBuf, group: &str, bench: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines()
+        .filter_map(Record::from_json_line)
+        .find(|r| r.group == group && r.bench == bench)
+        .map(|r| r.median_ns)
+}

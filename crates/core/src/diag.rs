@@ -138,6 +138,41 @@ impl Diagnostic {
         out
     }
 
+    /// One JSON object on a single line (the `doodlint --json` format):
+    /// `file`, `severity`, `code`, `message`, `line`/`col` (0 = unknown),
+    /// `span` (`{start, end}` or `null`), `owner` (or `null`), `notes`.
+    pub fn to_json_line(&self, file: &str) -> String {
+        use crate::obs::json_escape;
+        let mut out = format!(
+            "{{\"file\":\"{}\",\"severity\":\"{}\",\"code\":\"{}\",\"message\":\"{}\",\"line\":{},\"col\":{}",
+            json_escape(file),
+            self.severity,
+            json_escape(self.code),
+            json_escape(&self.message),
+            self.line,
+            self.col,
+        );
+        match self.span {
+            Some(s) => {
+                out.push_str(&format!(",\"span\":{{\"start\":{},\"end\":{}}}", s.start, s.end))
+            }
+            None => out.push_str(",\"span\":null"),
+        }
+        match &self.owner {
+            Some(o) => out.push_str(&format!(",\"owner\":\"{}\"", json_escape(o))),
+            None => out.push_str(",\"owner\":null"),
+        }
+        out.push_str(",\"notes\":[");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", json_escape(n)));
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Full rendering: headline, the source line with a caret underline
     /// (when the span is known), and any notes.
     pub fn render(&self, file: &str, src: &str) -> String {
@@ -263,6 +298,27 @@ mod tests {
         assert_eq!(ds[2].code, "E014");
         assert!(has_errors(&ds));
         assert_eq!(counts(&ds), (2, 1));
+    }
+
+    #[test]
+    fn json_line_rendering() {
+        let src = "if context X\nthen Y";
+        let d = Diagnostic::error("E001", "unknown class \"X\"")
+            .with_span(Span::new(11, 12), src)
+            .with_owner("R1")
+            .with_note("did you mean `Xs`?");
+        let j = d.to_json_line("a.dood");
+        assert_eq!(
+            j,
+            "{\"file\":\"a.dood\",\"severity\":\"error\",\"code\":\"E001\",\
+             \"message\":\"unknown class \\\"X\\\"\",\"line\":1,\"col\":12,\
+             \"span\":{\"start\":11,\"end\":12},\"owner\":\"R1\",\
+             \"notes\":[\"did you mean `Xs`?\"]}"
+        );
+        let bare = Diagnostic::warning("W101", "w").to_json_line("");
+        assert!(bare.contains("\"span\":null"), "{bare}");
+        assert!(bare.contains("\"owner\":null"), "{bare}");
+        assert!(bare.contains("\"notes\":[]"), "{bare}");
     }
 
     #[test]

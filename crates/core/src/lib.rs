@@ -18,6 +18,8 @@
 //!   evaluation paths (`DOOD_THREADS` override, deterministic merge order).
 //! * [`diag`] — source spans, severities, and the plain-text diagnostic
 //!   renderer shared by the parsers, the static analyzer, and `doodlint`.
+//! * [`obs`] — the hermetic observability layer: span tracing, metrics,
+//!   and the EXPLAIN ANALYZE profile trees rendered by `doodprof`.
 
 #![warn(missing_docs)]
 
@@ -25,6 +27,7 @@ pub mod diag;
 pub mod error;
 pub mod fxhash;
 pub mod ids;
+pub mod obs;
 pub mod pool;
 pub mod propcheck;
 pub mod rng;

@@ -20,6 +20,7 @@
 //!   the calling thread (spawning threads for tiny inputs costs more than
 //!   the work itself; the cutoff is swept by ablation E13).
 
+use crate::obs;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -122,6 +123,17 @@ impl ChunkPool {
             return vec![f(chunks[0])];
         }
         let workers = self.threads.min(chunks.len());
+        let mut sp = obs::trace::span("pool.par_chunk_map");
+        sp.attr("items", items.len() as i64);
+        sp.attr("chunks", chunks.len() as i64);
+        sp.attr("threads", workers as i64);
+        let parent = sp.id();
+        let metered = obs::metrics_enabled();
+        if metered {
+            obs::metrics::counter("pool.par_calls").inc();
+            obs::metrics::counter("pool.chunks").add(chunks.len() as u64);
+            obs::metrics::gauge("pool.threads.peak").set_max(workers as i64);
+        }
         let cursor = AtomicUsize::new(0);
         let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
@@ -130,11 +142,26 @@ impl ChunkPool {
                     let chunks = &chunks;
                     let f = &f;
                     s.spawn(move || {
+                        let busy_start = if metered { Some(obs::now_ns()) } else { None };
                         let mut out = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(chunk) = chunks.get(i) else { break };
-                            out.push((i, f(chunk)));
+                            let mut csp = obs::trace::span_under("pool.chunk", parent);
+                            csp.attr("chunk", i as i64);
+                            csp.attr("len", chunk.len() as i64);
+                            let t0 = if metered { Some(obs::now_ns()) } else { None };
+                            let r = f(chunk);
+                            if let Some(t0) = t0 {
+                                obs::metrics::histogram("pool.chunk_ns")
+                                    .record(obs::now_ns().saturating_sub(t0));
+                            }
+                            drop(csp);
+                            out.push((i, r));
+                        }
+                        if let Some(t0) = busy_start {
+                            obs::metrics::histogram("pool.worker_busy_ns")
+                                .record(obs::now_ns().saturating_sub(t0));
                         }
                         out
                     })
@@ -163,6 +190,14 @@ impl ChunkPool {
             return items.iter().map(f).collect();
         }
         let workers = self.threads.min(items.len());
+        let mut sp = obs::trace::span("pool.par_map");
+        sp.attr("items", items.len() as i64);
+        sp.attr("threads", workers as i64);
+        let parent = sp.id();
+        if obs::metrics_enabled() {
+            obs::metrics::counter("pool.par_calls").inc();
+            obs::metrics::gauge("pool.threads.peak").set_max(workers as i64);
+        }
         let cursor = AtomicUsize::new(0);
         let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
@@ -174,7 +209,11 @@ impl ChunkPool {
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(item) = items.get(i) else { break };
-                            out.push((i, f(item)));
+                            let mut isp = obs::trace::span_under("pool.item", parent);
+                            isp.attr("item", i as i64);
+                            let r = f(item);
+                            drop(isp);
+                            out.push((i, r));
                         }
                         out
                     })

@@ -15,6 +15,8 @@ use crate::resolve::resolve_context;
 use crate::table::{build_table, Table};
 use crate::wherec::apply_where;
 use dood_core::fxhash::FxHashMap;
+use dood_core::obs;
+use dood_core::obs::profile::Profile;
 use dood_core::subdb::{Subdatabase, SubdbRegistry};
 use dood_store::Database;
 
@@ -76,6 +78,7 @@ impl Oql {
         registry: &SubdbRegistry,
         q: &Query,
     ) -> Result<QueryOutput, QueryError> {
+        let mut sp = obs::trace::span("oql.query");
         let subdb = eval_context(&q.context, &q.where_, db, registry, "Context")?;
         let table = build_table(&subdb, &q.select, db)?;
         let mut op_results = Vec::with_capacity(q.ops.len());
@@ -86,7 +89,32 @@ impl Oql {
                 .ok_or_else(|| QueryError::UnknownOperation(op.clone()))?;
             op_results.push((op.clone(), f(&table)));
         }
+        sp.attr("rows", table.len() as i64);
         Ok(QueryOutput { subdb, table, op_results })
+    }
+
+    /// Run a parsed query block under span capture, returning both the
+    /// output and its EXPLAIN ANALYZE [`Profile`] tree.
+    pub fn run_profiled(
+        &self,
+        db: &Database,
+        registry: &SubdbRegistry,
+        q: &Query,
+    ) -> Result<(QueryOutput, Profile), QueryError> {
+        let (res, spans) = obs::trace::capture(|| self.run(db, registry, q));
+        Ok((res?, Profile::single(&spans)))
+    }
+
+    /// Parse and run a query block under span capture (see
+    /// [`run_profiled`](Self::run_profiled)).
+    pub fn query_profiled(
+        &self,
+        db: &Database,
+        registry: &SubdbRegistry,
+        src: &str,
+    ) -> Result<(QueryOutput, Profile), QueryError> {
+        let q = Parser::parse_query(src)?;
+        self.run_profiled(db, registry, &q)
     }
 }
 

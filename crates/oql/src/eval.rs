@@ -12,6 +12,7 @@ use dood_core::error::ResolveError;
 use dood_core::fxhash::FxHashMap;
 use dood_core::ids::Oid;
 use dood_core::schema::ResolvedAttr;
+use dood_core::obs;
 use dood_core::subdb::{ExtPattern, Intension, SlotDef, SlotSource, Subdatabase, SubdbRegistry};
 use dood_core::value::Value;
 use dood_core::pool::ChunkPool;
@@ -332,6 +333,9 @@ impl<'a> Evaluator<'a> {
         if let Some(scan) = &self.index_scan[slot] {
             if let Some(mut hits) = scan.scan(self.db) {
                 hits.sort_unstable();
+                if obs::metrics_enabled() {
+                    obs::metrics::counter("oql.index_scan.served").inc();
+                }
                 return hits;
             }
         }
@@ -340,7 +344,16 @@ impl<'a> Evaluator<'a> {
             None => self.db.extent(self.ctx.slots[slot].base).collect(),
         };
         match &self.conds[slot] {
-            Some(p) => base.into_iter().filter(|&o| p.eval(self.db, o)).collect(),
+            Some(p) => {
+                let scanned = base.len();
+                let kept: Vec<Oid> =
+                    base.into_iter().filter(|&o| p.eval(self.db, o)).collect();
+                if obs::metrics_enabled() {
+                    obs::metrics::counter("oql.pred.scanned").add(scanned as u64);
+                    obs::metrics::counter("oql.pred.kept").add(kept.len() as u64);
+                }
+                kept
+            }
             None => base,
         }
     }
@@ -445,13 +458,25 @@ impl<'a> Evaluator<'a> {
                 .unwrap(),
             PlannerMode::Leftmost => lo,
         };
+        let mut sp = obs::trace::span("oql.join");
+        sp.attr("lo", lo as i64);
+        sp.attr("hi", hi as i64);
+        sp.attr("anchor", anchor as i64);
         let cands = self.candidates(anchor);
-        if self.pool.is_sequential(cands.len()) {
-            return self.join_span_rows(&cands, lo, hi, anchor);
+        sp.attr("rows_in", cands.len() as i64);
+        let rows = if self.pool.is_sequential(cands.len()) {
+            self.join_span_rows(&cands, lo, hi, anchor)
+        } else {
+            self.pool
+                .par_chunk_map(&cands, |chunk| self.join_span_rows(chunk, lo, hi, anchor))
+                .concat()
+        };
+        sp.attr("rows_out", rows.len() as i64);
+        if obs::metrics_enabled() {
+            obs::metrics::counter("oql.join.evals").inc();
+            obs::metrics::counter("oql.join.rows_out").add(rows.len() as u64);
         }
-        self.pool
-            .par_chunk_map(&cands, |chunk| self.join_span_rows(chunk, lo, hi, anchor))
-            .concat()
+        rows
     }
 
     /// The span join restricted to a subset of the anchor's candidates.
@@ -503,7 +528,7 @@ impl<'a> Evaluator<'a> {
 
     /// Evaluate a non-cyclic context: all retention spans joined, widened,
     /// unioned, and subsumption-filtered.
-    fn eval_flat(&self, name: &str) -> Subdatabase {
+    fn eval_flat(&self, name: &str, sp: &mut obs::trace::Span) -> Subdatabase {
         let width = self.ctx.slots.len();
         let mut sd = Subdatabase::new(name, self.intension());
         for &(lo, hi) in &self.ctx.spans {
@@ -515,7 +540,13 @@ impl<'a> Evaluator<'a> {
                 sd.insert(ExtPattern::new(comps));
             }
         }
+        let before = sd.len();
         sd.retain_maximal();
+        let subsumed = before - sd.len();
+        sp.attr("subsumed", subsumed as i64);
+        if subsumed > 0 && obs::metrics_enabled() {
+            obs::metrics::counter("oql.subsume.eliminated").add(subsumed as u64);
+        }
         sd
     }
 
@@ -546,10 +577,14 @@ impl<'a> Evaluator<'a> {
 
     /// Evaluate the context expression into a subdatabase named `name`.
     pub fn eval(&self, name: &str) -> Subdatabase {
-        match &self.ctx.closure {
-            None => self.eval_flat(name),
-            Some((spec, cycle)) => self.eval_closure(name, spec.iterations, cycle),
-        }
+        let mut sp = obs::trace::span("oql.context");
+        sp.label(|| name.to_string());
+        let sd = match &self.ctx.closure {
+            None => self.eval_flat(name, &mut sp),
+            Some((spec, cycle)) => self.eval_closure(name, spec.iterations, cycle, &mut sp),
+        };
+        sp.attr("rows_out", sd.len() as i64);
+        sd
     }
 
     /// One closure step: from a root instance of slot 0, join the full
@@ -592,11 +627,15 @@ impl<'a> Evaluator<'a> {
         name: &str,
         iterations: Option<u32>,
         _cycle: &REdgeKind,
+        sp: &mut obs::trace::Span,
     ) -> Subdatabase {
         let max_levels = iterations.map(|n| n as usize + 1);
         let mut memo: FxHashMap<Oid, Vec<Oid>> = FxHashMap::default();
         let mut chains: Vec<Vec<Oid>> = Vec::new();
-        for root in self.candidates(0) {
+        let mut steps: u64 = 0;
+        let roots = self.candidates(0);
+        sp.attr("roots", roots.len() as i64);
+        for root in roots {
             // DFS over the successor graph, emitting maximal chains.
             let mut stack: Vec<Vec<Oid>> = vec![vec![root]];
             while let Some(chain) = stack.pop() {
@@ -606,7 +645,10 @@ impl<'a> Evaluator<'a> {
                     Vec::new()
                 } else {
                     memo.entry(cur)
-                        .or_insert_with(|| self.closure_step(cur))
+                        .or_insert_with(|| {
+                            steps += 1;
+                            self.closure_step(cur)
+                        })
                         .iter()
                         .copied()
                         .filter(|n| !chain.contains(n)) // cycle protection
@@ -624,6 +666,12 @@ impl<'a> Evaluator<'a> {
             }
         }
         let width = chains.iter().map(Vec::len).max().unwrap_or(1);
+        sp.attr("steps", steps as i64);
+        sp.attr("chains", chains.len() as i64);
+        sp.attr("width", width as i64);
+        if obs::metrics_enabled() {
+            obs::metrics::counter("oql.closure.steps").add(steps);
+        }
         let cls = &self.ctx.slots[0];
         let slot_defs: Vec<SlotDef> = (0..width)
             .map(|lvl| SlotDef {
@@ -650,7 +698,13 @@ impl<'a> Evaluator<'a> {
             }
             sd.insert(ExtPattern::new(comps));
         }
+        let before = sd.len();
         sd.retain_maximal();
+        let subsumed = before - sd.len();
+        sp.attr("subsumed", subsumed as i64);
+        if subsumed > 0 && obs::metrics_enabled() {
+            obs::metrics::counter("oql.subsume.eliminated").add(subsumed as u64);
+        }
         sd
     }
 }

@@ -11,6 +11,7 @@ use crate::error::QueryError;
 use dood_core::error::ResolveError;
 use dood_core::fxhash::FxHashMap;
 use dood_core::ids::Oid;
+use dood_core::obs;
 use dood_core::pool::ChunkPool;
 use dood_core::schema::{ResolvedAttr, Schema};
 use dood_core::subdb::{Intension, SlotSource, Subdatabase};
@@ -118,6 +119,8 @@ pub fn apply_where(
     for cond in conds {
         match cond {
             WhereCond::Cmp { left, op, right } => {
+                let mut sp = obs::trace::span("oql.where.cmp");
+                sp.attr("rows_in", sd.len() as i64);
                 let lslot = find_slot(&sd.intension, &left.0)?;
                 let lattr = slot_attr(&sd.intension, lslot, &left.1, db.schema())?;
                 enum Rhs {
@@ -151,9 +154,16 @@ pub fn apply_where(
                     })
                     .cloned()
                     .collect();
+                let dropped = sd.len() - keep.len();
                 sd.set_patterns(keep);
+                sp.attr("rows_out", sd.len() as i64);
+                if dropped > 0 && obs::metrics_enabled() {
+                    obs::metrics::counter("oql.where.dropped").add(dropped as u64);
+                }
             }
             WhereCond::Agg { func, target, attr, by, op, value } => {
+                let mut sp = obs::trace::span("oql.where.agg");
+                sp.attr("rows_in", sd.len() as i64);
                 let tslot = find_slot(&sd.intension, target)?;
                 let tattr = match attr {
                     Some(a) => Some(slot_attr(&sd.intension, tslot, a, db.schema())?),
@@ -203,6 +213,7 @@ pub fn apply_where(
                 let mut group_list: Vec<(Option<Oid>, BTreeSet<Oid>)> =
                     groups.into_iter().collect();
                 group_list.sort_unstable_by_key(|(k, _)| *k);
+                sp.attr("groups", group_list.len() as i64);
                 let verdicts = pool.par_chunk_map(&group_list, |chunk| {
                     chunk
                         .iter()
@@ -227,7 +238,12 @@ pub fn apply_where(
                     })
                     .cloned()
                     .collect();
+                let dropped = sd.len() - keep.len();
                 sd.set_patterns(keep);
+                sp.attr("rows_out", sd.len() as i64);
+                if dropped > 0 && obs::metrics_enabled() {
+                    obs::metrics::counter("oql.where.dropped").add(dropped as u64);
+                }
             }
         }
     }

@@ -13,6 +13,7 @@
 
 use crate::ast::{Rule, TargetItem};
 use crate::error::RuleError;
+use dood_core::obs;
 use dood_oql::ast::ClassRef;
 use dood_oql::eval_context;
 use dood_oql::wherec::find_slot;
@@ -26,8 +27,16 @@ pub fn apply_rule(
     db: &Database,
     registry: &SubdbRegistry,
 ) -> Result<Subdatabase, RuleError> {
+    let mut sp = obs::trace::span("rules.rule");
+    sp.label(|| rule.name.clone());
+    if obs::metrics_enabled() {
+        obs::metrics::counter("rules.rule.applications").inc();
+    }
     let ctx = eval_rule_context(rule, db, registry)?;
-    project_targets(rule, &ctx, db)
+    sp.attr("ctx_rows", ctx.len() as i64);
+    let target = project_targets(rule, &ctx, db)?;
+    sp.attr("target_rows", target.len() as i64);
+    Ok(target)
 }
 
 /// Evaluate just the IF clause (context + WHERE) of a rule, returning the

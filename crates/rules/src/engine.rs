@@ -25,11 +25,13 @@ use crate::program::Program;
 use dood_core::diag::Diagnostic;
 use dood_core::fxhash::{FxHashMap, FxHashSet};
 use dood_core::ids::{ClassId, Oid};
+use dood_core::obs;
+use dood_core::obs::profile::Profile;
 use dood_core::pool::ChunkPool;
 use dood_core::subdb::{Subdatabase, SubdbRegistry};
 use dood_oql::ast::{ClassRef, Item, Query, SelectItem, Seq, WhereCond};
 use dood_oql::{Oql, QueryOutput};
-use dood_store::Database;
+use dood_store::{Database, SubscriberId};
 
 /// Per-result evaluation policy (result-oriented control, paper §6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,15 +83,20 @@ pub struct RuleEngine {
     strict: bool,
     /// Dirty objects of the update batch being propagated, when any.
     current_dirty: Option<std::collections::BTreeSet<Oid>>,
+    /// The engine's subscription in the store's event log: acknowledged up
+    /// to the forward-chaining watermark, so log compaction never drops an
+    /// unconsumed event and `doodprof --metrics` can report engine lag.
+    events_sub: SubscriberId,
 }
 
 impl RuleEngine {
     /// Wrap a database with an empty rule set (result-oriented mode;
     /// results default to post-evaluated).
-    pub fn new(db: Database) -> Self {
+    pub fn new(mut db: Database) -> Self {
         // Events logged before the engine exists (population) are base
         // facts, not updates to propagate.
         let watermark = db.seq();
+        let events_sub = db.events_mut().subscribe("rules.engine");
         RuleEngine {
             db,
             oql: Oql::new(),
@@ -105,6 +112,7 @@ impl RuleEngine {
             ctx_cache: FxHashMap::default(),
             current_dirty: None,
             strict: false,
+            events_sub,
         }
     }
 
@@ -337,10 +345,19 @@ impl RuleEngine {
 
     /// Apply every rule deriving `name` (union semantics, R4/R5) against
     /// the current registry state and register the result.
+    /// Commit a derived result to the registry, with delta-size accounting.
+    fn commit_derived(&mut self, sd: Subdatabase) {
+        if obs::metrics_enabled() {
+            obs::metrics::counter("rules.rederived").inc();
+            obs::metrics::histogram("rules.delta_rows").record(sd.len() as u64);
+        }
+        self.registry.put(sd, self.db.seq());
+    }
+
     fn run_rules_for(&mut self, name: &str) -> Result<(), RuleError> {
         if !self.incremental {
             let sd = self.compute_rules_for(name)?;
-            self.registry.put(sd, self.db.seq());
+            self.commit_derived(sd);
             return Ok(());
         }
         let idxs = self.graph.rules_for(name).to_vec();
@@ -364,7 +381,7 @@ impl RuleEngine {
             });
         }
         let sd = acc.expect("at least one rule ran");
-        self.registry.put(sd, self.db.seq());
+        self.commit_derived(sd);
         Ok(())
     }
 
@@ -374,6 +391,9 @@ impl RuleEngine {
     /// separate threads.
     fn compute_rules_for(&self, name: &str) -> Result<Subdatabase, RuleError> {
         debug_assert!(!self.graph.rules_for(name).is_empty());
+        let mut sp = obs::trace::span("rules.derive");
+        sp.label(|| name.to_string());
+        sp.attr("rules", self.graph.rules_for(name).len() as i64);
         let mut acc: Option<Subdatabase> = None;
         for &i in self.graph.rules_for(name) {
             let sd = apply_rule(&self.rules[i], &self.db, &self.registry)?;
@@ -391,7 +411,9 @@ impl RuleEngine {
                 }
             });
         }
-        Ok(acc.expect("at least one rule ran"))
+        let sd = acc.expect("at least one rule ran");
+        sp.attr("rows_out", sd.len() as i64);
+        Ok(sd)
     }
 
     /// Apply one rule, via the delta path when enabled and sound, caching
@@ -425,7 +447,14 @@ impl RuleEngine {
     pub fn propagate(&mut self) -> Result<Vec<String>, RuleError> {
         let events = self.db.events().since(self.watermark).to_vec();
         self.watermark = self.db.seq();
+        self.db.events_mut().ack(self.events_sub, self.watermark);
+        let mut sp = obs::trace::span("rules.propagate");
+        sp.attr("events", events.len() as i64);
+        if obs::metrics_enabled() {
+            obs::metrics::counter("rules.propagate.runs").inc();
+        }
         if events.is_empty() {
+            sp.attr("rederived", 0);
             return Ok(Vec::new());
         }
         // Classes touched by the batch.
@@ -468,7 +497,9 @@ impl RuleEngine {
             // registry; commits happen in deterministic within-stratum
             // order, and `rederived` is reported in topological order as
             // on the sequential path.
-            for stratum in self.graph.strata()? {
+            for (stratum_idx, stratum) in self.graph.strata()?.into_iter().enumerate() {
+                let mut ssp = obs::trace::span("rules.stratum");
+                ssp.attr("index", stratum_idx as i64);
                 let mut batch: Vec<String> = Vec::new();
                 for name in stratum {
                     if !affected.contains(&name) {
@@ -494,10 +525,11 @@ impl RuleEngine {
                         }
                     }
                 }
+                ssp.attr("subdbs", batch.len() as i64);
                 let pool = ChunkPool::from_env();
                 let results = pool.par_map(&batch, |name| self.compute_rules_for(name));
                 for (name, result) in batch.into_iter().zip(results) {
-                    self.registry.put(result?, self.db.seq());
+                    self.commit_derived(result?);
                     rederived.push(name);
                 }
             }
@@ -505,6 +537,7 @@ impl RuleEngine {
                 order.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
             rederived.sort_unstable_by_key(|n| pos[n.as_str()]);
             self.current_dirty = None;
+            sp.attr("rederived", rederived.len() as i64);
             return Ok(rederived);
         }
         for name in order {
@@ -549,6 +582,7 @@ impl RuleEngine {
             }
         }
         self.current_dirty = None;
+        sp.attr("rederived", rederived.len() as i64);
         Ok(rederived)
     }
 
@@ -571,10 +605,37 @@ impl RuleEngine {
     /// references (paper §4.3 / Query 4.1).
     pub fn query(&mut self, src: &str) -> Result<QueryOutput, RuleError> {
         let q = dood_oql::Parser::parse_query(src)?;
-        for subdb in referenced_subdbs(&q) {
+        self.run_query(&q)
+    }
+
+    /// Run a parsed OQL query, backward-chaining any derived subdatabases
+    /// it references.
+    pub fn run_query(&mut self, q: &Query) -> Result<QueryOutput, RuleError> {
+        let mut sp = obs::trace::span("rules.query");
+        for subdb in referenced_subdbs(q) {
             self.derive(&subdb)?;
         }
-        Ok(self.oql.run(&self.db, &self.registry, &q)?)
+        let out = self.oql.run(&self.db, &self.registry, q)?;
+        sp.attr("rows", out.table.len() as i64);
+        Ok(out)
+    }
+
+    /// Run a parsed query under span capture, returning the output and its
+    /// EXPLAIN ANALYZE [`Profile`] tree (backward-chained derivations
+    /// included).
+    pub fn run_query_profiled(
+        &mut self,
+        q: &Query,
+    ) -> Result<(QueryOutput, Profile), RuleError> {
+        let (res, spans) = obs::trace::capture(|| self.run_query(q));
+        Ok((res?, Profile::single(&spans)))
+    }
+
+    /// Parse and run a query under span capture (see
+    /// [`run_query_profiled`](Self::run_query_profiled)).
+    pub fn query_profiled(&mut self, src: &str) -> Result<(QueryOutput, Profile), RuleError> {
+        let q = dood_oql::Parser::parse_query(src)?;
+        self.run_query_profiled(&q)
     }
 
     /// Materialize and return a derived subdatabase (backward chaining).

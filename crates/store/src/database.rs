@@ -76,6 +76,12 @@ impl Database {
         &self.log
     }
 
+    /// Mutable access to the update-event log, for consumer registration
+    /// ([`EventLog::subscribe`]), acknowledgement, and compaction.
+    pub fn events_mut(&mut self) -> &mut EventLog {
+        &mut self.log
+    }
+
     /// Current update watermark (paper §6: used to decide staleness of
     /// derived subdatabases).
     pub fn seq(&self) -> u64 {
@@ -530,7 +536,14 @@ impl Database {
 
     /// The index over `(class, attr)`, if one was created.
     pub fn attr_index(&self, class: ClassId, attr: AssocId) -> Option<&AttrIndex> {
-        self.attr_ix.get(&(class, attr))
+        let hit = self.attr_ix.get(&(class, attr));
+        if dood_core::obs::metrics_enabled() {
+            dood_core::obs::metrics::counter("store.index.probes").inc();
+            if hit.is_some() {
+                dood_core::obs::metrics::counter("store.index.hits").inc();
+            }
+        }
+        hit
     }
 
     // ------------------------------------------------------------------

@@ -20,5 +20,5 @@ pub use assoc_index::AssocIndex;
 pub use attr_index::{AttrIndex, OrdValue};
 pub use database::Database;
 pub use dump::{dump, load, load_full, save_full, LoadError};
-pub use events::{EventLog, UpdateEvent};
+pub use events::{EventLog, SubscriberId, UpdateEvent};
 pub use txn::Transaction;

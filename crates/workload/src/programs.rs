@@ -115,6 +115,20 @@ pub fn builtin_schema(name: &str) -> Option<Schema> {
     }
 }
 
+/// A small seeded population of a builtin schema, for profiling a rule
+/// program against real instances (`doodprof`). Sizes are the workloads'
+/// `small()` presets; `fig31` is the paper's fixed Figure 3.1 extension
+/// (its population ignores the seed).
+pub fn builtin_database(name: &str, seed: u64) -> Option<dood_store::Database> {
+    match name {
+        "university" => Some(crate::university::populate(crate::university::Size::small(), seed)),
+        "company" => Some(crate::company::populate(crate::company::CompanySize::small(), seed).0),
+        "cad" => Some(crate::cad::build_bom(crate::cad::BomShape::small(), seed).0),
+        "fig31" => Some(crate::figures::fig_3_1().0),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +140,14 @@ mod tests {
         }
         assert!(builtin_schema("fig31").is_some());
         assert!(builtin_schema("nope").is_none());
+    }
+
+    #[test]
+    fn builtin_databases_resolve() {
+        for name in ["university", "company", "cad", "fig31"] {
+            let db = builtin_database(name, 42).unwrap_or_else(|| panic!("db `{name}`"));
+            assert!(db.object_count() > 0, "population `{name}` is empty");
+        }
+        assert!(builtin_database("nope", 42).is_none());
     }
 }

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # The per-PR gate: tier-1 verify (ROADMAP.md), a warnings-as-errors build,
-# doodlint over every built-in rule program, the hermeticity check, and a
-# 2-thread smoke run of the parallel bench so the chunked evaluation path is
-# exercised on every PR even when the full bench suite isn't run.
+# doodlint over every built-in rule program (text and --json modes), a
+# DOOD_TRACE=1 smoke run validated by `doodprof --validate`, the
+# hermeticity check, and smoke runs of the parallel (e12) and
+# observability (e15) benches so the chunked evaluation path and the
+# instrumented paths are exercised on every PR even when the full bench
+# suite isn't run.
 #
 # Usage: scripts/ci.sh
 # Run from anywhere; operates on the workspace containing this script.
@@ -22,14 +25,35 @@ cargo run -q --release --bin doodlint -- --strict --builtin
 if compgen -G "programs/*.dood" > /dev/null; then
     cargo run -q --release --bin doodlint -- --strict programs/*.dood
 fi
+# --json mode must emit nothing on stdout for clean programs (machine
+# consumers parse every stdout line as a diagnostic object).
+JSON_OUT="$(cargo run -q --release --bin doodlint -- --json --builtin 2>/dev/null)"
+if [ -n "$JSON_OUT" ]; then
+    echo "ci: doodlint --json emitted diagnostics for clean programs:" >&2
+    echo "$JSON_OUT" >&2
+    exit 1
+fi
+
+echo "== ci: trace smoke (DOOD_TRACE=1 -> validate -> doodprof) =="
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP" "${SMOKE_JSON:-}"' EXIT
+DOOD_TRACE=1 DOOD_TRACE_FILE="$TRACE_TMP/trace.jsonl" \
+    cargo run -q --release --bin doodprof -- --builtin university > "$TRACE_TMP/profile.txt"
+grep -q "== export Teacher_course ==  rows=11" "$TRACE_TMP/profile.txt"
+cargo run -q --release --bin doodprof -- --validate "$TRACE_TMP/trace.jsonl"
+cargo run -q --release --bin doodprof -- --metrics programs/university.dood > /dev/null
 
 echo "== ci: hermeticity =="
 scripts/check_hermetic.sh
 
 echo "== ci: parallel-path smoke (bench e12_parallel, DOOD_THREADS=2) =="
 SMOKE_JSON="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_JSON"' EXIT
+trap 'rm -rf "$TRACE_TMP" "$SMOKE_JSON"' EXIT
 DOOD_THREADS=2 DOOD_BENCH_SMOKE=1 DOOD_BENCH_JSON="$SMOKE_JSON" \
     cargo bench -p dood-bench --bench e12_parallel
+
+echo "== ci: observability smoke (bench e15_obs) =="
+DOOD_BENCH_SMOKE=1 DOOD_BENCH_JSON="$SMOKE_JSON" \
+    cargo bench -p dood-bench --bench e15_obs
 
 echo "ci: PASS"

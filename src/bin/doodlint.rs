@@ -1,7 +1,7 @@
 //! `doodlint` — the static analyzer CLI for `.dood` rule programs.
 //!
 //! ```text
-//! doodlint [--strict] [--schema NAME] [--builtin] [FILE.dood ...]
+//! doodlint [--strict] [--json] [--schema NAME] [--builtin] [FILE.dood ...]
 //! ```
 //!
 //! Lints each program file (and, with `--builtin`, the built-in workload
@@ -10,6 +10,10 @@
 //! `schema inline … end` blocks are parsed as schema DDL, and `--schema`
 //! supplies a default for programs without a header. Exits nonzero when any
 //! program has errors — or warnings, under `--strict`.
+//!
+//! With `--json`, each diagnostic is printed to stdout as one JSON object
+//! per line ([`Diagnostic::to_json_line`]) and the summary moves to stderr;
+//! exit codes are unchanged.
 
 use dood_core::diag::{self, Diagnostic, Span};
 use dood_core::schema::text::parse_schema;
@@ -19,8 +23,10 @@ use dood_rules::program::{Program, SchemaRef};
 use dood_workload::programs;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: doodlint [--strict] [--schema NAME] [--builtin] [FILE.dood ...]
+const USAGE: &str = "usage: doodlint [--strict] [--json] [--schema NAME] [--builtin] [FILE.dood ...]
   --strict       treat warnings as fatal
+  --json         print one JSON object per diagnostic on stdout
+                 (summary goes to stderr; exit codes unchanged)
   --schema NAME  default schema for programs without a `schema` header
                  (university | company | cad | fig31)
   --builtin      also lint the built-in workload programs";
@@ -28,12 +34,14 @@ const USAGE: &str = "usage: doodlint [--strict] [--schema NAME] [--builtin] [FIL
 fn main() -> ExitCode {
     let mut files = Vec::new();
     let mut strict = false;
+    let mut json = false;
     let mut default_schema: Option<String> = None;
     let mut builtin = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--strict" => strict = true,
+            "--json" => json = true,
             "--builtin" => builtin = true,
             "--schema" => match args.next() {
                 Some(n) => default_schema = Some(n),
@@ -78,15 +86,20 @@ fn main() -> ExitCode {
     }
 
     for (file, src) in &sources {
-        let (e, w) = lint_one(file, src, default_schema.as_deref());
+        let (e, w) = lint_one(file, src, default_schema.as_deref(), json);
         errors += e;
         warnings += w;
     }
 
     let checked = sources.len();
-    println!(
+    let summary = format!(
         "doodlint: {checked} program(s) checked, {errors} error(s), {warnings} warning(s)"
     );
+    if json {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
     if io_failed {
         ExitCode::from(2)
     } else if errors > 0 || (strict && warnings > 0) {
@@ -96,9 +109,9 @@ fn main() -> ExitCode {
     }
 }
 
-/// Lint one program source; prints its diagnostics and per-file summary,
-/// returns `(errors, warnings)`.
-fn lint_one(file: &str, src: &str, default_schema: Option<&str>) -> (usize, usize) {
+/// Lint one program source; prints its diagnostics (text blocks, or one
+/// JSON object per line under `--json`), returns `(errors, warnings)`.
+fn lint_one(file: &str, src: &str, default_schema: Option<&str>, json: bool) -> (usize, usize) {
     let (program, mut diags) = Program::parse(src);
     match resolve_schema(&program, src, default_schema) {
         Ok(schema) => {
@@ -107,7 +120,11 @@ fn lint_one(file: &str, src: &str, default_schema: Option<&str>) -> (usize, usiz
         Err(d) => diags.push(d),
     }
     diag::sort(&mut diags);
-    if diags.is_empty() {
+    if json {
+        for d in &diags {
+            println!("{}", d.to_json_line(file));
+        }
+    } else if diags.is_empty() {
         println!("{file}: OK");
     } else {
         println!("{}", diag::render_all(&diags, file, src));

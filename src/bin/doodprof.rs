@@ -1,0 +1,273 @@
+//! `doodprof` — EXPLAIN ANALYZE for `.dood` rule programs.
+//!
+//! ```text
+//! doodprof [--builtin NAME | FILE.dood] [--seed N] [--metrics] [--json]
+//!          [--trace-out FILE] [--validate FILE]
+//! ```
+//!
+//! Loads a rule program (a file, or a built-in workload program by name),
+//! populates its builtin schema with a small seeded instance set, registers
+//! the rules, then derives every `export` and runs every `query` under span
+//! capture — printing one profile tree per derivation and query: per-operator
+//! wall times, join input/output cardinalities, predicate selectivities,
+//! subsumption-elimination counts, per-rule context/target sizes.
+//!
+//! * `--seed N` — population seed (default 42); profiles are deterministic
+//!   per seed (wall times vary, cardinalities do not).
+//! * `--metrics` — also enable the metrics registry and dump it (plus event
+//!   log subscriber stats) after the run.
+//! * `--json` — machine-readable output: one JSON object per profile (and
+//!   per metric, under `--metrics`).
+//! * `--trace-out FILE` — additionally stream every closed span to `FILE`
+//!   as JSON lines (same format as `DOOD_TRACE=1`).
+//! * `--validate FILE` — don't profile; check that `FILE` is a well-formed
+//!   JSON-lines trace (parseable, unique ids, children close before and
+//!   nest inside their parents) and print its stats.
+
+use dood::core::diag;
+use dood::core::obs;
+use dood::core::obs::profile::Profile;
+use dood::rules::program::{Program, SchemaRef};
+use dood::rules::RuleEngine;
+use dood::store::Database;
+use dood::workload::programs;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: doodprof [--builtin NAME | FILE.dood] [--seed N] [--metrics] [--json] [--trace-out FILE] [--validate FILE]
+  --builtin NAME    profile a built-in workload program
+                    (university | company | cad)
+  --seed N          population seed (default 42)
+  --metrics         enable and dump the metrics registry after the run
+  --json            machine-readable output (one JSON object per line)
+  --trace-out FILE  also stream spans to FILE as JSON lines
+  --validate FILE   validate a JSON-lines trace export and exit";
+
+fn main() -> ExitCode {
+    let mut file: Option<String> = None;
+    let mut builtin: Option<String> = None;
+    let mut seed: u64 = 42;
+    let mut metrics = false;
+    let mut json = false;
+    let mut trace_out: Option<String> = None;
+    let mut validate: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--builtin" => match args.next() {
+                Some(n) => builtin = Some(n),
+                None => return usage_err("`--builtin` needs a name"),
+            },
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage_err("`--seed` needs an integer"),
+            },
+            "--metrics" => metrics = true,
+            "--json" => json = true,
+            "--trace-out" => match args.next() {
+                Some(p) => trace_out = Some(p),
+                None => return usage_err("`--trace-out` needs a path"),
+            },
+            "--validate" => match args.next() {
+                Some(p) => validate = Some(p),
+                None => return usage_err("`--validate` needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_err(&format!("unknown flag `{other}`"));
+            }
+            f => {
+                if file.replace(f.to_string()).is_some() {
+                    return usage_err("at most one FILE.dood");
+                }
+            }
+        }
+    }
+
+    if let Some(path) = validate {
+        return run_validate(&path);
+    }
+
+    let (name, src) = match (&builtin, &file) {
+        (Some(n), None) => {
+            match programs::all().into_iter().find(|(pn, _)| pn == n) {
+                Some((pn, text)) => (format!("builtin:{pn}"), text.to_string()),
+                None => return usage_err(&format!("unknown builtin program `{n}`")),
+            }
+        }
+        (None, Some(f)) => match std::fs::read_to_string(f) {
+            Ok(text) => (f.clone(), text),
+            Err(e) => {
+                eprintln!("doodprof: {f}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        _ => return usage_err("need exactly one of --builtin NAME or FILE.dood"),
+    };
+
+    let (program, diags) = Program::parse(&src);
+    if diag::has_errors(&diags) {
+        eprintln!("{}", diag::render_all(&diags, &name, &src));
+        return ExitCode::FAILURE;
+    }
+    let db = match load_database(&program, &builtin, seed) {
+        Ok(db) => db,
+        Err(msg) => {
+            eprintln!("doodprof: {name}: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if metrics {
+        obs::set_metrics_enabled(true);
+    }
+    if let Some(path) = &trace_out {
+        if let Err(e) = obs::trace::stream_to_path(path) {
+            eprintln!("doodprof: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut engine = RuleEngine::new(db);
+    match engine.register(&program) {
+        Ok(ds) => {
+            if !ds.is_empty() {
+                eprintln!("{}", diag::render_all(&ds, &name, &src));
+            }
+        }
+        Err(e) => {
+            eprintln!("doodprof: {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut failed = false;
+    for (export, _) in &program.exports {
+        let (rows, spans) = obs::trace::capture(|| engine.subdb(export).map(|sd| sd.len()));
+        match rows {
+            Ok(rows) => emit("export", export, rows, &Profile::single(&spans), json),
+            Err(e) => {
+                eprintln!("doodprof: export {export}: {e}");
+                failed = true;
+            }
+        }
+    }
+    for pq in &program.queries {
+        match engine.run_query_profiled(&pq.query) {
+            Ok((out, profile)) => emit("query", &pq.name, out.table.len(), &profile, json),
+            Err(e) => {
+                eprintln!("doodprof: query {}: {e}", pq.name);
+                failed = true;
+            }
+        }
+    }
+
+    if metrics {
+        dump_metrics(&engine, json);
+    }
+    obs::trace::flush_stream();
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("doodprof: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Print one profiled section: a header + tree in text mode, one JSON
+/// object in `--json` mode.
+fn emit(kind: &str, name: &str, rows: usize, profile: &Profile, json: bool) {
+    if json {
+        println!(
+            "{{\"kind\":\"{kind}\",\"name\":\"{}\",\"rows\":{rows},\"profile\":{}}}",
+            obs::json_escape(name),
+            profile.to_json()
+        );
+    } else {
+        println!("== {kind} {name} ==  rows={rows}");
+        print!("{}", profile.render());
+        println!();
+    }
+}
+
+/// Build the instance database the program runs against.
+fn load_database(
+    program: &Program,
+    builtin: &Option<String>,
+    seed: u64,
+) -> Result<Database, String> {
+    if let Some(n) = builtin {
+        return programs::builtin_database(n, seed)
+            .ok_or_else(|| format!("no builtin population for `{n}`"));
+    }
+    match &program.schema {
+        Some(SchemaRef::Builtin { name, .. }) => programs::builtin_database(name, seed)
+            .ok_or_else(|| format!("no builtin population for schema `{name}`")),
+        Some(SchemaRef::Inline { text, .. }) => {
+            // An inline schema has no generator: profile over an empty
+            // extension (cardinalities will be zero, the plan shape won't).
+            dood::core::schema::text::parse_schema(text)
+                .map(Database::new)
+                .map_err(|e| format!("inline schema: {e}"))
+        }
+        None => Err("program has no `schema` directive".to_string()),
+    }
+}
+
+/// Dump the metrics registry and the event log's subscriber accounting.
+fn dump_metrics(engine: &RuleEngine, json: bool) {
+    let snap = obs::metrics::snapshot();
+    if json {
+        print!("{}", obs::metrics::to_json_lines(&snap));
+        for (name, acked, lag) in engine.db().events().subscriber_stats() {
+            println!(
+                "{{\"metric\":\"store.events.subscriber\",\"name\":\"{}\",\"acked\":{acked},\"lag\":{lag}}}",
+                obs::json_escape(&name)
+            );
+        }
+    } else {
+        println!("-- metrics --");
+        print!("{}", obs::metrics::render_text(&snap));
+        let log = engine.db().events();
+        println!(
+            "events: seq={} retained={} dropped={} subscribers={}",
+            log.seq(),
+            log.retained(),
+            log.dropped(),
+            log.subscriber_count()
+        );
+        for (name, acked, lag) in log.subscriber_stats() {
+            println!("  subscriber {name}: acked={acked} lag={lag}");
+        }
+    }
+}
+
+/// `--validate`: parse and structurally check a JSON-lines trace export.
+fn run_validate(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("doodprof: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match obs::trace::validate_trace(&text) {
+        Ok(stats) => {
+            println!(
+                "{path}: ok — {} span(s), {} root(s), max depth {}",
+                stats.spans, stats.roots, stats.max_depth
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: invalid trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

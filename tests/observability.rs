@@ -1,0 +1,273 @@
+//! Observability-layer integration tests (DESIGN.md §8): parallel and
+//! sequential evaluation agree on every semantic metric, disabled gates
+//! keep the instrumented paths inert, captured profiles expose the
+//! per-operator cardinalities, and exported traces always validate.
+//!
+//! Metric-touching tests serialize on a shared lock: the registry is
+//! process-global and `reset_all` would race between tests otherwise.
+
+use dood::core::obs::{self, metrics, trace};
+use dood::core::obs::metrics::MetricSnapshot;
+use dood::core::pool::ChunkPool;
+use dood::core::propcheck::check;
+use dood::core::subdb::SubdbRegistry;
+use dood::oql::eval::Evaluator;
+use dood::oql::resolve::resolve_context;
+use dood::oql::Parser;
+use dood::rules::RuleEngine;
+use dood::workload::university;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes every test that enables or reads the global metrics registry.
+fn metrics_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn eval_rows(db: &dood::store::Database, src: &str, pool: ChunkPool) -> usize {
+    let reg = SubdbRegistry::new();
+    let e = Parser::parse_context_expr(src).unwrap();
+    let r = resolve_context(&e, db.schema(), &reg).unwrap();
+    Evaluator::new(&r, db, &reg).unwrap().with_pool(pool).eval("t").len()
+}
+
+/// The semantic (non-timing, non-pool) metrics of a snapshot, as
+/// comparable `(name, value)` pairs. Pool metrics (chunk counts, worker
+/// timings) legitimately differ across thread counts; everything else —
+/// join evaluations, predicate selectivity, subsumption eliminations,
+/// index probes, rule deltas — must not.
+fn semantic_metrics(snaps: &[MetricSnapshot]) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for s in snaps {
+        if s.name().starts_with("pool.") {
+            continue;
+        }
+        match s {
+            MetricSnapshot::Counter { name, value } => out.push((name.clone(), *value)),
+            MetricSnapshot::Gauge { .. } => {}
+            MetricSnapshot::Histogram { name, count, sum, .. } => {
+                out.push((format!("{name}.count"), *count));
+                out.push((format!("{name}.sum"), *sum));
+            }
+        }
+    }
+    out
+}
+
+/// Parallel evaluation must report the same semantic metric totals as the
+/// sequential path: the instrumentation counts work done, not how it was
+/// scheduled (ISSUE 5 acceptance).
+#[test]
+fn parallel_metric_totals_equal_sequential() {
+    let _g = metrics_lock();
+    obs::set_metrics_enabled(true);
+    let db = university::populate(university::Size::small(), 42);
+    let exprs = [
+        "Teacher * Section * Course",
+        "Department * Course * Section * Student",
+        "Course ^*",
+        "{Teacher * Section} * Course",
+    ];
+    for src in exprs {
+        metrics::reset_all();
+        let seq_rows = eval_rows(&db, src, ChunkPool::with_threads(1));
+        let seq = semantic_metrics(&metrics::snapshot());
+
+        metrics::reset_all();
+        // cutoff 0 forces the chunked path even on small candidate sets.
+        let par_rows = eval_rows(&db, src, ChunkPool::with_threads(4).cutoff(0));
+        let par = semantic_metrics(&metrics::snapshot());
+
+        assert_eq!(seq_rows, par_rows, "rows differ for `{src}`");
+        assert_eq!(seq, par, "metric totals differ for `{src}`");
+        assert!(
+            seq.iter().any(|(n, v)| n == "oql.join.evals" && *v > 0)
+                || src.contains('^'),
+            "no join evaluations recorded for `{src}`: {seq:?}"
+        );
+    }
+    metrics::reset_all();
+    obs::set_metrics_enabled(false);
+}
+
+/// With both gates off, spans are inert guards and no counter moves:
+/// the disabled path must stay observable-free (the <2% overhead bench
+/// E15 measures the residual cost of these checks).
+#[test]
+fn disabled_gates_keep_instrumentation_inert() {
+    let _g = metrics_lock();
+    obs::set_metrics_enabled(false);
+    metrics::reset_all();
+    let before = semantic_metrics(&metrics::snapshot());
+
+    let sp = trace::span("observability.test");
+    assert!(!sp.on(), "span must be inert outside capture/stream");
+    assert!(sp.id().is_none());
+    drop(sp);
+
+    let db = university::populate(university::Size::small(), 7);
+    let rows = eval_rows(&db, "Teacher * Section * Course", ChunkPool::with_threads(2).cutoff(0));
+    assert!(rows > 0);
+
+    let after = semantic_metrics(&metrics::snapshot());
+    assert_eq!(before, after, "metrics moved while disabled");
+}
+
+/// `run_query_profiled` returns a profile tree whose operator nodes carry
+/// the deterministic cardinalities the paper's §4 query produces: the
+/// rule-derivation span, the if-context join with its input/output rows,
+/// and the query row count.
+#[test]
+fn profile_tree_exposes_operator_cardinalities() {
+    let db = university::populate(university::Size::small(), 42);
+    let mut engine = RuleEngine::new(db);
+    engine
+        .add_rule("R1", "if context Teacher * Section * Course then TC (Teacher, Course)")
+        .unwrap();
+    let q = Parser::parse_query("context TC:Teacher * TC:Course display").unwrap();
+    let (out, profile) = engine.run_query_profiled(&q).unwrap();
+    assert!(!out.table.is_empty());
+
+    let query = profile.find("rules.query").expect("rules.query span");
+    assert_eq!(query.attr("rows"), Some(out.table.len() as i64));
+    let derive = profile.find("rules.derive").expect("rules.derive span");
+    assert_eq!(derive.attr("rules"), Some(1));
+    let rule = profile.find("rules.rule").expect("rules.rule span");
+    assert!(rule.attr("ctx_rows").unwrap_or(0) > 0);
+    let join = profile.find("oql.join").expect("oql.join span");
+    assert!(join.attr("rows_in").is_some());
+    assert!(join.attr("rows_out").is_some());
+    let ctx = profile.find("oql.context").expect("oql.context span");
+    assert!(ctx.attr("rows_out").unwrap_or(-1) >= 0);
+
+    // Determinism: same seed, same tree shape and cardinalities.
+    let db2 = university::populate(university::Size::small(), 42);
+    let mut engine2 = RuleEngine::new(db2);
+    engine2
+        .add_rule("R1", "if context Teacher * Section * Course then TC (Teacher, Course)")
+        .unwrap();
+    let (out2, profile2) = engine2.run_query_profiled(&q).unwrap();
+    assert_eq!(out.table.len(), out2.table.len());
+    assert_eq!(profile.node_count(), profile2.node_count());
+    assert_eq!(
+        profile.find("oql.join").unwrap().attr("rows_out"),
+        profile2.find("oql.join").unwrap().attr("rows_out")
+    );
+}
+
+/// Property: any capture over a random university workload exports to a
+/// JSON-lines trace that [`trace::validate_trace`] accepts — children
+/// close before parents, ids are unique, intervals nest (ISSUE 5
+/// satellite). Replay failures with `DOOD_PROP_SEED=<seed>`.
+#[test]
+fn exported_traces_always_validate() {
+    check("exported_traces_always_validate", 12, |g| {
+        let seed = g.range(0u64..1000);
+        let threads = [1usize, 2, 4][g.range(0..3) as usize];
+        let db = university::populate(university::Size::small(), seed);
+        let pool = ChunkPool::with_threads(threads).cutoff(0);
+        let (rows, spans) = trace::capture(|| {
+            eval_rows(&db, "Department * Course * Section * Student", pool)
+                + eval_rows(&db, "Course ^*", ChunkPool::with_threads(1))
+        });
+        assert!(!spans.is_empty(), "capture produced no spans");
+
+        // Stream order is close order: children before parents. Ties on
+        // end_ns break toward the later-opened (inner) span.
+        let mut by_close = spans.clone();
+        by_close.sort_by_key(|r| (r.end_ns(), std::cmp::Reverse(r.id)));
+        let text: String =
+            by_close.iter().map(|r| r.to_json_line() + "\n").collect();
+        let stats = trace::validate_trace(&text).expect("exported trace must validate");
+        assert_eq!(stats.spans, spans.len());
+        assert!(stats.roots >= 1);
+        assert!(stats.max_depth >= 2, "expected nested spans, got {stats:?}");
+        assert!(rows < usize::MAX);
+
+        // Round-trip: parse-back equals the original records.
+        for r in &by_close {
+            let back = trace::SpanRecord::from_json_line(&r.to_json_line()).unwrap();
+            assert_eq!(&back, r);
+        }
+    });
+}
+
+/// The `doodprof` CLI end-to-end: profile the builtin university program,
+/// check the deterministic §4 cardinalities, then validate its own trace
+/// export (ISSUE 5 acceptance).
+#[test]
+fn doodprof_cli_university_roundtrip() {
+    let exe = env!("CARGO_BIN_EXE_doodprof");
+    let dir = std::env::temp_dir().join(format!("doodprof-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.jsonl");
+
+    let out = std::process::Command::new(exe)
+        .args(["--builtin", "university", "--trace-out"])
+        .arg(&trace_path)
+        .output()
+        .expect("run doodprof");
+    assert!(out.status.success(), "doodprof failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("== export Teacher_course ==  rows=11"), "{text}");
+    assert!(text.contains("== query Q41 ==  rows=1"), "{text}");
+    assert!(text.contains("oql.join"), "{text}");
+    assert!(text.contains("rows_in="), "{text}");
+
+    let validate = std::process::Command::new(exe)
+        .arg("--validate")
+        .arg(&trace_path)
+        .output()
+        .expect("run doodprof --validate");
+    assert!(
+        validate.status.success(),
+        "trace export did not validate: {}",
+        String::from_utf8_lossy(&validate.stderr)
+    );
+    let vtext = String::from_utf8_lossy(&validate.stdout);
+    assert!(vtext.contains(": ok —"), "{vtext}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `doodlint --json` emits one parseable JSON object per diagnostic on
+/// stdout and moves the summary to stderr (ISSUE 5 satellite).
+#[test]
+fn doodlint_json_output() {
+    let exe = env!("CARGO_BIN_EXE_doodlint");
+    let dir = std::env::temp_dir().join(format!("doodlint-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.dood");
+    std::fs::write(
+        &bad,
+        "schema builtin university\n\nrule R1:\n  if context Teachr * Section\n  then X (Teachr)\n",
+    )
+    .unwrap();
+
+    let out = std::process::Command::new(exe)
+        .arg("--json")
+        .arg(&bad)
+        .output()
+        .expect("run doodlint");
+    assert_eq!(out.status.code(), Some(1), "lint errors must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let lines: Vec<&str> = stdout.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(!lines.is_empty(), "expected JSON diagnostics, got: {stdout}");
+    for line in &lines {
+        assert!(line.starts_with("{\"file\":"), "not a JSON diagnostic: {line}");
+        assert!(line.ends_with('}'), "not a JSON diagnostic: {line}");
+        assert!(line.contains("\"severity\":"), "{line}");
+        assert!(line.contains("\"code\":"), "{line}");
+    }
+    assert!(stderr.contains("program(s) checked"), "summary must be on stderr: {stderr}");
+    assert!(!stdout.contains("program(s) checked"), "summary leaked to stdout: {stdout}");
+
+    // A clean builtin program emits no JSON objects and exits 0.
+    let ok = std::process::Command::new(exe)
+        .args(["--json", "--builtin"])
+        .output()
+        .expect("run doodlint --builtin");
+    assert!(ok.status.success(), "{}", String::from_utf8_lossy(&ok.stderr));
+    assert!(String::from_utf8_lossy(&ok.stdout).trim().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
