@@ -1,0 +1,145 @@
+//! E16 — incremental forward maintenance (DESIGN.md §9): the semi-naive
+//! delta path against full recomputation and backward chaining on the E3
+//! pipeline, the delta-size vs cost curve (one propagate absorbing a batch
+//! of 1/8/64 updates), and a deletion-heavy workload exercising the
+//! counting-deletion path.
+//!
+//! Afterwards compares this run's `pre/update_heavy` median against its
+//! `post/update_heavy` median: the acceptance bar is ≤ 2× (before the
+//! delta rewrite the committed seed showed ~15×: 5.76ms vs 384µs).
+//! Prints `PASS`/`WARN`; exits nonzero on a miss only under
+//! `DOOD_BENCH_STRICT=1` (shared hosts are noisy, so the hard gate is
+//! opt-in for `scripts/ci.sh` and `scripts/bench_snapshot.sh`).
+
+use dood_bench::harness::{fmt_ns, Harness, Record};
+use dood_bench::{chaining_workload, pipeline_engine, pipeline_update};
+use dood_rules::{EvalPolicy, RuleEngine};
+use std::path::PathBuf;
+
+/// Allowed pre/post update-heavy ratio (the maintained copy may cost at
+/// most twice the invalidate-and-rederive-on-query strategy).
+const RATIO_BUDGET: f64 = 2.0;
+
+/// The E3 pipeline with every stage pre-evaluated and materialized, so the
+/// measured work is maintenance, not first derivation: one warm-up
+/// update+propagate round seeds the per-rule maintenance caches (a
+/// one-time cost amortized over the engine's lifetime), leaving the timed
+/// iterations pure steady-state maintenance.
+fn pre_engine(incremental: bool) -> RuleEngine {
+    let mut e = pipeline_engine(100, 3);
+    for s in ["REa", "REb", "REc", "REd"] {
+        e.set_policy(s, EvalPolicy::PreEvaluated);
+    }
+    e.set_incremental(incremental);
+    e.query("context REd:Department select dname").unwrap();
+    pipeline_update(&mut e, 1_000_000);
+    e.propagate().unwrap();
+    e
+}
+
+/// Delete `rounds` employees one commit at a time, propagating after each;
+/// returns total rederived subdatabases (keeps the optimizer honest).
+fn deletion_workload(engine: &mut RuleEngine, rounds: usize) -> usize {
+    let employee = engine.db().schema().class_by_name("Employee").unwrap();
+    let mut rederived = 0;
+    for i in 0..rounds {
+        let db = engine.db_mut();
+        let n = db.extent_size(employee);
+        let victim = db.extent(employee).nth((i * 7) % n).unwrap();
+        db.delete_object(victim).unwrap();
+        rederived += engine.propagate().unwrap().len();
+    }
+    rederived
+}
+
+fn main() {
+    let mut h = Harness::new("e16_incremental");
+
+    // The E3 update-heavy workload (20 update+propagate rounds, 1 query)
+    // three ways: semi-naive delta maintenance, full recomputation per
+    // propagate, and backward chaining (invalidate, rederive on query).
+    h.bench_batched(
+        "pre/update_heavy",
+        || pre_engine(true),
+        |mut e| chaining_workload(&mut e, EvalPolicy::PreEvaluated, 20, 1),
+    );
+    h.bench_batched(
+        "full/update_heavy",
+        || pre_engine(false),
+        |mut e| chaining_workload(&mut e, EvalPolicy::PreEvaluated, 20, 1),
+    );
+    h.bench_batched(
+        "post/update_heavy",
+        || pipeline_engine(100, 3),
+        |mut e| chaining_workload(&mut e, EvalPolicy::PostEvaluated, 20, 1),
+    );
+
+    // Delta-size vs cost: one propagate absorbing a batch of n updates.
+    for n in [1usize, 8, 64] {
+        h.bench_batched(
+            &format!("delta/batch{n}"),
+            || {
+                let mut e = pre_engine(true);
+                for i in 0..n {
+                    pipeline_update(&mut e, i);
+                }
+                e
+            },
+            |mut e| e.propagate().unwrap().len(),
+        );
+    }
+
+    // Deletion-heavy maintenance: derivation counts, not rederivation.
+    h.bench_batched("del/update_heavy", || pre_engine(true), |mut e| deletion_workload(&mut e, 20));
+
+    h.finish();
+    check_ratio();
+}
+
+/// Read back this run's records and check `pre/update_heavy` against
+/// `post/update_heavy`.
+fn check_ratio() {
+    if std::env::var("DOOD_BENCH_SMOKE").is_ok_and(|v| v == "1") {
+        println!("# e16 ratio check skipped (smoke mode: timings are not meaningful)");
+        return;
+    }
+    let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_default();
+    let own_path = match std::env::var_os("DOOD_BENCH_JSON") {
+        Some(dir) => PathBuf::from(dir).join("BENCH_e16_incremental.json"),
+        None => workspace.join("target/bench-json/BENCH_e16_incremental.json"),
+    };
+    let Some(pre) = median_of(&own_path, "e16_incremental", "pre/update_heavy") else {
+        println!("# e16 ratio check skipped (no pre/update_heavy record in {})", own_path.display());
+        return;
+    };
+    let Some(post) = median_of(&own_path, "e16_incremental", "post/update_heavy") else {
+        println!("# e16 ratio check skipped (no post/update_heavy record in {})", own_path.display());
+        return;
+    };
+    let ratio = pre / post;
+    let verdict = if ratio <= RATIO_BUDGET { "PASS" } else { "WARN" };
+    println!(
+        "# e16 maintenance ratio: {verdict} — pre/update_heavy {} vs post/update_heavy {} ({:.2}x, budget {:.0}x)",
+        fmt_ns(pre),
+        fmt_ns(post),
+        ratio,
+        RATIO_BUDGET
+    );
+    if verdict == "WARN" && std::env::var("DOOD_BENCH_STRICT").is_ok_and(|v| v == "1") {
+        eprintln!("# e16: over budget under DOOD_BENCH_STRICT=1");
+        std::process::exit(1);
+    }
+}
+
+/// The first `group`/`bench` record's median in a JSON-lines bench file.
+fn median_of(path: &PathBuf, group: &str, bench: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines()
+        .filter_map(Record::from_json_line)
+        .find(|r| r.group == group && r.bench == bench)
+        .map(|r| r.median_ns)
+}

@@ -1,0 +1,239 @@
+//! Incrementally-maintained access structures over a subdatabase's
+//! extension: per-slot counted extents and per-slot-pair counted
+//! adjacency.
+//!
+//! Pattern matching against a *derived* subdatabase needs two things per
+//! evaluation: the membership extent of each slot ("which oids appear
+//! here") and the adjacency between slot pairs ("which co-bindings exist").
+//! Re-materializing those is O(patterns) per evaluation — ruinous for
+//! incremental forward maintenance, which evaluates a small delta against
+//! large, slowly-changing sources on every update batch. The index is
+//! instead built once per content version ([`Subdatabase::index`]) and
+//! kept current by `insert`/`remove` point updates, so steady-state
+//! evaluations pay O(1) to access it.
+//!
+//! Everything is *counted*: several patterns can bind the same oid in a
+//! slot (or repeat a pair co-binding) while differing elsewhere, so a
+//! single pattern removal must not erase an extent or adjacency entry
+//! that other patterns still justify.
+//!
+//! [`Subdatabase::index`]: crate::subdb::Subdatabase::index
+
+use crate::fxhash::FxHashMap;
+use crate::ids::Oid;
+use crate::subdb::pattern::ExtPattern;
+
+/// Counted directional adjacency between two slots `a < b`: the distinct
+/// `(x, y)` co-bindings with their multiplicities, plus ascending neighbor
+/// lists both ways for O(1) traversal.
+#[derive(Debug, Clone, Default)]
+pub struct SlotAdj {
+    counts: FxHashMap<(Oid, Oid), u32>,
+    fwd: FxHashMap<Oid, Vec<Oid>>,
+    rev: FxHashMap<Oid, Vec<Oid>>,
+}
+
+impl SlotAdj {
+    /// Neighbors of `oid`, ascending: slot-`b` partners when `forward`,
+    /// slot-`a` partners otherwise.
+    pub fn neighbors(&self, oid: Oid, forward: bool) -> &[Oid] {
+        let m = if forward { &self.fwd } else { &self.rev };
+        m.get(&oid).map_or(&[], |v| v.as_slice())
+    }
+
+    fn add(&mut self, x: Oid, y: Oid) {
+        let c = self.counts.entry((x, y)).or_insert(0);
+        *c += 1;
+        if *c == 1 {
+            let v = self.fwd.entry(x).or_default();
+            if let Err(i) = v.binary_search(&y) {
+                v.insert(i, y);
+            }
+            let v = self.rev.entry(y).or_default();
+            if let Err(i) = v.binary_search(&x) {
+                v.insert(i, x);
+            }
+        }
+    }
+
+    fn del(&mut self, x: Oid, y: Oid) {
+        let Some(c) = self.counts.get_mut(&(x, y)) else { return };
+        *c -= 1;
+        if *c > 0 {
+            return;
+        }
+        self.counts.remove(&(x, y));
+        if let Some(v) = self.fwd.get_mut(&x) {
+            if let Ok(i) = v.binary_search(&y) {
+                v.remove(i);
+            }
+            if v.is_empty() {
+                self.fwd.remove(&x);
+            }
+        }
+        if let Some(v) = self.rev.get_mut(&y) {
+            if let Ok(i) = v.binary_search(&x) {
+                v.remove(i);
+            }
+            if v.is_empty() {
+                self.rev.remove(&y);
+            }
+        }
+    }
+}
+
+/// The index over a subdatabase's extension: counted slot extents and
+/// counted adjacency for every ordered slot pair `a < b`.
+#[derive(Debug, Clone)]
+pub struct SubdbIndex {
+    slots: Vec<FxHashMap<Oid, u32>>,
+    adj: FxHashMap<(usize, usize), SlotAdj>,
+}
+
+impl SubdbIndex {
+    /// Build from scratch over an extension (one pass).
+    pub(crate) fn build<'a>(
+        width: usize,
+        patterns: impl Iterator<Item = &'a ExtPattern>,
+    ) -> Self {
+        let mut adj = FxHashMap::default();
+        for a in 0..width {
+            for b in a + 1..width {
+                adj.insert((a, b), SlotAdj::default());
+            }
+        }
+        let mut ix = SubdbIndex { slots: vec![FxHashMap::default(); width], adj };
+        for p in patterns {
+            ix.add(p);
+        }
+        ix
+    }
+
+    /// Fold one inserted pattern in.
+    pub(crate) fn add(&mut self, p: &ExtPattern) {
+        let comps = p.components();
+        for (i, c) in comps.iter().enumerate() {
+            if let Some(o) = c {
+                *self.slots[i].entry(*o).or_insert(0) += 1;
+            }
+        }
+        for (&(a, b), adj) in self.adj.iter_mut() {
+            if let (Some(x), Some(y)) = (comps[a], comps[b]) {
+                adj.add(x, y);
+            }
+        }
+    }
+
+    /// Fold one removed pattern out.
+    pub(crate) fn del(&mut self, p: &ExtPattern) {
+        let comps = p.components();
+        for (i, c) in comps.iter().enumerate() {
+            if let Some(o) = c {
+                if let Some(n) = self.slots[i].get_mut(o) {
+                    *n -= 1;
+                    if *n == 0 {
+                        self.slots[i].remove(o);
+                    }
+                }
+            }
+        }
+        for (&(a, b), adj) in self.adj.iter_mut() {
+            if let (Some(x), Some(y)) = (comps[a], comps[b]) {
+                adj.del(x, y);
+            }
+        }
+    }
+
+    /// Whether any pattern binds `oid` in `slot`.
+    pub fn slot_contains(&self, slot: usize, oid: Oid) -> bool {
+        self.slots[slot].contains_key(&oid)
+    }
+
+    /// The distinct oids bound in `slot` (unordered).
+    pub fn slot_oids(&self, slot: usize) -> impl Iterator<Item = Oid> + '_ {
+        self.slots[slot].keys().copied()
+    }
+
+    /// Number of distinct oids bound in `slot`.
+    pub fn slot_len(&self, slot: usize) -> usize {
+        self.slots[slot].len()
+    }
+
+    /// The adjacency between slots `a` and `b` (any order), with a flag
+    /// telling the caller whether its notion of "forward" (`a` → `b`)
+    /// is flipped relative to the stored `min < max` orientation.
+    pub fn pair_adj(&self, a: usize, b: usize) -> Option<(&SlotAdj, bool)> {
+        let key = (a.min(b), a.max(b));
+        self.adj.get(&key).map(|adj| (adj, a > b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: &[Option<u64>]) -> ExtPattern {
+        ExtPattern::new(v.iter().map(|o| o.map(Oid)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn counted_extents_and_adjacency() {
+        let pats = [
+            p(&[Some(1), Some(2), Some(3)]),
+            p(&[Some(1), Some(2), Some(4)]), // repeats (1,2) in slots 0,1
+            p(&[None, Some(5), Some(3)]),
+        ];
+        let mut ix = SubdbIndex::build(3, pats.iter());
+        assert!(ix.slot_contains(0, Oid(1)));
+        assert!(!ix.slot_contains(0, Oid(5)));
+        assert_eq!(ix.slot_len(1), 2);
+        let (adj, flip) = ix.pair_adj(0, 1).unwrap();
+        assert!(!flip);
+        assert_eq!(adj.neighbors(Oid(1), true), &[Oid(2)]);
+        let (adj, flip) = ix.pair_adj(1, 0).unwrap();
+        assert!(flip);
+        assert_eq!(adj.neighbors(Oid(2), false), &[Oid(1)]);
+
+        // Removing one of the two (1,2) co-binders keeps the edge…
+        ix.del(&pats[0]);
+        let (adj, _) = ix.pair_adj(0, 1).unwrap();
+        assert_eq!(adj.neighbors(Oid(1), true), &[Oid(2)]);
+        assert!(ix.slot_contains(2, Oid(3))); // still bound by pats[2]
+        // …and removing the second erases it.
+        ix.del(&pats[1]);
+        let (adj, _) = ix.pair_adj(0, 1).unwrap();
+        assert!(adj.neighbors(Oid(1), true).is_empty());
+        assert!(!ix.slot_contains(0, Oid(1)));
+        assert!(ix.slot_contains(1, Oid(5)));
+    }
+
+    #[test]
+    fn incremental_matches_rebuild() {
+        let pats = [
+            p(&[Some(1), Some(2), None]),
+            p(&[Some(1), Some(3), Some(9)]),
+            p(&[Some(4), Some(2), Some(9)]),
+        ];
+        let mut ix = SubdbIndex::build(3, pats.iter());
+        ix.del(&pats[1]);
+        ix.add(&p(&[Some(7), Some(2), Some(8)]));
+        let fresh = SubdbIndex::build(
+            3,
+            [pats[0].clone(), pats[2].clone(), p(&[Some(7), Some(2), Some(8)])].iter(),
+        );
+        for s in 0..3 {
+            let mut a: Vec<Oid> = ix.slot_oids(s).collect();
+            let mut b: Vec<Oid> = fresh.slot_oids(s).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "slot {s}");
+        }
+        for (a, b) in [(0, 1), (0, 2), (1, 2)] {
+            let (ia, _) = ix.pair_adj(a, b).unwrap();
+            let (fa, _) = fresh.pair_adj(a, b).unwrap();
+            for o in ix.slot_oids(a) {
+                assert_eq!(ia.neighbors(o, true), fa.neighbors(o, true));
+            }
+        }
+    }
+}

@@ -1,11 +1,13 @@
 //! Subdatabases: the closed world of the deductive rule language
 //! (paper §3.1 and §4.1).
 
+pub mod index;
 pub mod intension;
 pub mod pattern;
 pub mod registry;
 pub mod subdatabase;
 
+pub use index::{SlotAdj, SubdbIndex};
 pub use intension::{IntEdge, Intension, SlotDef, SlotSource};
 pub use pattern::{ExtPattern, PatternType};
 pub use registry::{RegistryEntry, SubdbRegistry};

@@ -52,6 +52,12 @@ impl SubdbRegistry {
         self.entries.remove(name).map(|e| e.subdb)
     }
 
+    /// Remove an entry, returning the subdatabase together with its
+    /// derivation epoch (so the caller can re-register it unchanged).
+    pub fn take(&mut self, name: &str) -> Option<(Subdatabase, u64)> {
+        self.entries.remove(name).map(|e| (e.subdb, e.derived_at))
+    }
+
     /// Whether an entry exists and was derived at or after `epoch`.
     pub fn is_fresh(&self, name: &str, epoch: u64) -> bool {
         self.entries

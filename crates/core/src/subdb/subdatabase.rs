@@ -4,14 +4,16 @@
 
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::ids::Oid;
+use crate::subdb::index::SubdbIndex;
 use crate::subdb::intension::Intension;
 use crate::subdb::pattern::{ExtPattern, PatternType};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A subdatabase: "a portion of the original database … an intensional
 /// association pattern and a set of extensional association patterns".
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Subdatabase {
     /// Unique name (the `subdatabase-id` of a rule's THEN clause).
     pub name: String,
@@ -19,12 +21,43 @@ pub struct Subdatabase {
     pub intension: Intension,
     /// The extensional patterns, deterministically ordered.
     patterns: BTreeSet<ExtPattern>,
+    /// Lazily-built access index (see [`SubdbIndex`]). `insert`/`remove`
+    /// keep it current once built; bulk mutators discard it; clones start
+    /// without one and rebuild on demand.
+    index: OnceLock<SubdbIndex>,
+}
+
+impl Clone for Subdatabase {
+    fn clone(&self) -> Self {
+        // The index is derived state and usually not wanted by the clone
+        // (e.g. a snapshot taken before mutation); let it rebuild lazily.
+        Subdatabase {
+            name: self.name.clone(),
+            intension: self.intension.clone(),
+            patterns: self.patterns.clone(),
+            index: OnceLock::new(),
+        }
+    }
 }
 
 impl Subdatabase {
     /// An empty subdatabase over the given intension.
     pub fn new(name: impl Into<String>, intension: Intension) -> Self {
-        Subdatabase { name: name.into(), intension, patterns: BTreeSet::new() }
+        Subdatabase {
+            name: name.into(),
+            intension,
+            patterns: BTreeSet::new(),
+            index: OnceLock::new(),
+        }
+    }
+
+    /// The extension's access index (counted slot extents and slot-pair
+    /// adjacency), built on first use and kept current by `insert` and
+    /// `remove`. Bulk mutators (`set_patterns`, `retain_maximal`,
+    /// `union_from`) discard it, so a later call rebuilds from scratch.
+    pub fn index(&self) -> &SubdbIndex {
+        self.index
+            .get_or_init(|| SubdbIndex::build(self.intension.width(), self.patterns.iter()))
     }
 
     /// Number of extensional patterns.
@@ -42,12 +75,77 @@ impl Subdatabase {
     /// mismatch.
     pub fn insert(&mut self, p: ExtPattern) -> bool {
         debug_assert_eq!(p.width(), self.intension.width(), "pattern width mismatch");
+        if let Some(ix) = self.index.get_mut() {
+            if self.patterns.contains(&p) {
+                return false;
+            }
+            ix.add(&p);
+            return self.patterns.insert(p);
+        }
         self.patterns.insert(p)
     }
 
     /// Iterate patterns in deterministic (lexicographic) order.
     pub fn patterns(&self) -> impl Iterator<Item = &ExtPattern> {
         self.patterns.iter()
+    }
+
+    /// Whether the extension contains this exact pattern.
+    pub fn contains(&self, p: &ExtPattern) -> bool {
+        self.patterns.contains(p)
+    }
+
+    /// Remove an exact pattern. Returns whether it was present.
+    pub fn remove(&mut self, p: &ExtPattern) -> bool {
+        let removed = self.patterns.remove(p);
+        if removed {
+            if let Some(ix) = self.index.get_mut() {
+                ix.del(p);
+            }
+        }
+        removed
+    }
+
+    /// The distinct oids appearing in patterns present in exactly one of
+    /// the two extensions — the objects an incremental maintenance step
+    /// must treat as changed downstream. Both pattern sets iterate in
+    /// lexicographic order, so a single merge pass finds the symmetric
+    /// difference.
+    pub fn diff_components(&self, other: &Subdatabase) -> Vec<Oid> {
+        let mut out = BTreeSet::new();
+        let mut a = self.patterns.iter().peekable();
+        let mut b = other.patterns.iter().peekable();
+        let absorb = |p: &ExtPattern, out: &mut BTreeSet<Oid>| {
+            out.extend(p.components().iter().flatten().copied());
+        };
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&x), Some(&y)) => match x.cmp(y) {
+                    std::cmp::Ordering::Less => {
+                        absorb(x, &mut out);
+                        a.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        absorb(y, &mut out);
+                        b.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        a.next();
+                        b.next();
+                    }
+                },
+                (Some(&x), None) => {
+                    absorb(x, &mut out);
+                    a.next();
+                }
+                (None, Some(&y)) => {
+                    absorb(y, &mut out);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        out.into_iter().collect()
     }
 
     /// Collect patterns into a vector.
@@ -58,6 +156,7 @@ impl Subdatabase {
     /// Replace the full pattern set.
     pub fn set_patterns(&mut self, ps: impl IntoIterator<Item = ExtPattern>) {
         self.patterns = ps.into_iter().collect();
+        self.index = OnceLock::new();
     }
 
     /// The distinct instances appearing in a slot — the extent of that
@@ -124,6 +223,7 @@ impl Subdatabase {
         }
         if !dead.is_empty() {
             self.patterns.retain(|p| !dead.contains(p));
+            self.index = OnceLock::new();
         }
     }
 
@@ -140,6 +240,7 @@ impl Subdatabase {
         for p in other.patterns() {
             self.patterns.insert(p.clone());
         }
+        self.index = OnceLock::new();
     }
 
     /// Project onto the given slots, producing a new subdatabase with a
@@ -273,6 +374,53 @@ mod tests {
         assert!(t.intension.edges.is_empty());
         let u = s.project("U", &[0, 1]);
         assert!(u.intension.has_edge(0, 1));
+    }
+
+    #[test]
+    fn diff_components_symmetric() {
+        let mut a = subdb();
+        a.insert(p(&[Some(1), Some(2), Some(3)]));
+        a.insert(p(&[Some(4), Some(5), None]));
+        let mut b = subdb();
+        b.insert(p(&[Some(1), Some(2), Some(3)])); // shared — not a diff
+        b.insert(p(&[Some(7), Some(8), Some(9)]));
+        let d = a.diff_components(&b);
+        assert_eq!(d, vec![Oid(4), Oid(5), Oid(7), Oid(8), Oid(9)]);
+        assert_eq!(a.diff_components(&b), b.diff_components(&a));
+        assert!(a.diff_components(&a).is_empty());
+    }
+
+    #[test]
+    fn contains_exact_pattern() {
+        let mut s = subdb();
+        s.insert(p(&[Some(1), Some(2), None]));
+        assert!(s.contains(&p(&[Some(1), Some(2), None])));
+        assert!(!s.contains(&p(&[Some(1), None, None])));
+    }
+
+    #[test]
+    fn index_survives_point_edits_and_bulk_invalidation() {
+        let mut s = subdb();
+        s.insert(p(&[Some(1), Some(2), Some(3)]));
+        s.insert(p(&[Some(1), Some(4), None]));
+        // Build, then point-edit: the maintained index must match a rebuild.
+        assert_eq!(s.index().slot_len(1), 2);
+        s.insert(p(&[Some(7), Some(2), Some(3)]));
+        s.remove(&p(&[Some(1), Some(4), None]));
+        assert_eq!(s.index().slot_len(0), 2);
+        assert!(!s.index().slot_contains(1, Oid(4)));
+        let (adj, flip) = s.index().pair_adj(1, 0).unwrap();
+        assert!(flip);
+        let mut back: Vec<Oid> = adj.neighbors(Oid(2), false).to_vec();
+        back.sort_unstable();
+        assert_eq!(back, vec![Oid(1), Oid(7)]);
+        // Bulk mutation discards and a fresh call rebuilds.
+        s.set_patterns([p(&[Some(9), Some(9), Some(9)])]);
+        assert_eq!(s.index().slot_len(0), 1);
+        assert!(s.index().slot_contains(2, Oid(9)));
+        // Clones start without an index and rebuild on demand.
+        let c = s.clone();
+        assert!(c.index().slot_contains(0, Oid(9)));
     }
 
     #[test]

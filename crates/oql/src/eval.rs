@@ -13,12 +13,13 @@ use dood_core::fxhash::FxHashMap;
 use dood_core::ids::Oid;
 use dood_core::schema::ResolvedAttr;
 use dood_core::obs;
-use dood_core::subdb::{ExtPattern, Intension, SlotDef, SlotSource, Subdatabase, SubdbRegistry};
+use dood_core::subdb::{
+    ExtPattern, Intension, SlotAdj, SlotDef, SlotSource, Subdatabase, SubdbIndex, SubdbRegistry,
+};
 use dood_core::value::Value;
 use dood_core::pool::ChunkPool;
 use dood_store::Database;
 use std::collections::BTreeSet;
-use std::sync::Arc;
 
 /// A compiled intra-class predicate: attribute references are resolved.
 #[derive(Debug, Clone)]
@@ -78,55 +79,20 @@ fn compile_pred(
     }
 }
 
-/// Directional adjacency derived from a subdatabase's patterns.
-#[derive(Debug, Default)]
-struct DerivedAdj {
-    fwd: FxHashMap<Oid, Vec<Oid>>,
-    rev: FxHashMap<Oid, Vec<Oid>>,
-}
-
-impl DerivedAdj {
-    fn build(sd: &Subdatabase, a: usize, b: usize) -> Self {
-        let cap = sd.len();
-        let mut adj = DerivedAdj {
-            fwd: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
-            rev: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
-        };
-        // Patterns iterate in BTreeSet order, so per-key pushes arrive
-        // ascending on the forward side whenever slot `a` precedes the
-        // pattern-order tiebreak; track out-of-order or duplicate inserts
-        // and skip the sort+dedup pass when none occurred.
-        let mut fwd_dirty = false;
-        let mut rev_dirty = false;
-        for p in sd.patterns() {
-            if let (Some(x), Some(y)) = (p.get(a), p.get(b)) {
-                let v = adj.fwd.entry(x).or_default();
-                fwd_dirty |= v.last().is_some_and(|&last| last >= y);
-                v.push(y);
-                let v = adj.rev.entry(y).or_default();
-                rev_dirty |= v.last().is_some_and(|&last| last >= x);
-                v.push(x);
-            }
-        }
-        if fwd_dirty {
-            for v in adj.fwd.values_mut() {
-                v.sort_unstable();
-                v.dedup();
-            }
-        }
-        if rev_dirty {
-            for v in adj.rev.values_mut() {
-                v.sort_unstable();
-                v.dedup();
-            }
-        }
-        adj
-    }
-
-    fn neighbors(&self, oid: Oid, forward: bool) -> &[Oid] {
-        let m = if forward { &self.fwd } else { &self.rev };
-        m.get(&oid).map_or(&[], |v| v.as_slice())
-    }
+/// A slot's membership constraint.
+///
+/// Derived slots point straight into their source subdatabase's
+/// [`SubdbIndex`], so constructing an evaluator never materializes an
+/// extent — the index is built once per source content version and shared
+/// by every evaluation against it (the incremental-maintenance hot path
+/// constructs an evaluator per delta step).
+enum Members<'a> {
+    /// Base-class slot: no membership restriction beyond the class extent.
+    Open,
+    /// Derived slot: membership is the given slot of the source's index.
+    Indexed(&'a SubdbIndex, usize),
+    /// Explicitly restricted (delta evaluation / `restrict_slot`).
+    Fixed(BTreeSet<Oid>),
 }
 
 /// How the evaluator chooses the anchor slot of each span join
@@ -145,14 +111,15 @@ pub struct Evaluator<'a> {
     ctx: &'a ResolvedContext,
     db: &'a Database,
     planner: PlannerMode,
-    /// Per slot: the derived membership extent, if the slot is derived.
-    memberships: Vec<Option<BTreeSet<Oid>>>,
+    /// Per slot: the membership constraint (see [`Members`]).
+    memberships: Vec<Members<'a>>,
     /// Per slot: compiled intra-class condition.
     conds: Vec<Option<CPred>>,
-    /// Adjacency caches for derived edges, keyed by edge index;
-    /// `usize::MAX` keys the closure cycle edge. `Arc`-shared: edges over
-    /// the same (subdatabase, slot-pair) reuse one build.
-    derived_adj: FxHashMap<usize, Arc<DerivedAdj>>,
+    /// Adjacency for derived edges, keyed by edge index (`usize::MAX` keys
+    /// the closure cycle edge): a borrow of the source index's slot-pair
+    /// adjacency plus whether the edge's left→right direction is flipped
+    /// relative to the stored orientation.
+    derived_adj: FxHashMap<usize, (&'a SlotAdj, bool)>,
     /// Per slot: an index-backed candidate pre-filter (E10): present when
     /// the slot's condition is a single comparison on a directly-declared
     /// attribute for which the store has an ordered index.
@@ -201,8 +168,12 @@ fn index_hint(slot_base: dood_core::ids::ClassId, cond: &CPred, db: &Database) -
 }
 
 impl<'a> Evaluator<'a> {
-    /// Prepare an evaluator: builds membership sets, compiles predicates,
-    /// and materializes derived-edge adjacency.
+    /// Prepare an evaluator: compiles predicates and binds derived slots
+    /// and edges to their source subdatabases' access indexes
+    /// ([`Subdatabase::index`]). Construction is O(1) in source size when
+    /// the indexes already exist — the steady state for incremental rule
+    /// maintenance, which constructs an evaluator per delta step against
+    /// slowly-changing registered sources.
     pub fn new(
         ctx: &'a ResolvedContext,
         db: &'a Database,
@@ -213,51 +184,42 @@ impl<'a> Evaluator<'a> {
         for slot in &ctx.slots {
             match &slot.derived {
                 Some((subdb, slot_name)) => {
-                    let sd = registry
-                        .subdb(subdb)
+                    let entry = registry
+                        .get(subdb)
                         .ok_or_else(|| QueryError::UnknownSubdb(subdb.clone()))?;
-                    let ext = sd.extent_of(slot_name).ok_or_else(|| {
-                        QueryError::UnknownSubdbClass {
+                    let idx = entry.subdb.intension.slot_by_name(slot_name).ok_or_else(
+                        || QueryError::UnknownSubdbClass {
                             subdb: subdb.clone(),
                             class: slot_name.clone(),
-                        }
-                    })?;
-                    memberships.push(Some(ext));
+                        },
+                    )?;
+                    memberships.push(Members::Indexed(entry.subdb.index(), idx));
                 }
-                None => memberships.push(None),
+                None => memberships.push(Members::Open),
             }
             conds.push(match &slot.cond {
                 Some(p) => Some(compile_pred(p, slot, db)?),
                 None => None,
             });
         }
-        // Adjacency builds are cached per (subdatabase, slot-pair) for the
-        // lifetime of this evaluation: several edges (including the closure
-        // cycle edge) routinely reference the same pair.
         let mut derived_adj = FxHashMap::default();
-        let mut adj_cache: FxHashMap<(String, usize, usize), Arc<DerivedAdj>> =
-            FxHashMap::default();
-        let mut cached_build = |subdb: &String,
-                                a: usize,
-                                b: usize|
-         -> Result<Arc<DerivedAdj>, QueryError> {
-            if let Some(adj) = adj_cache.get(&(subdb.clone(), a, b)) {
-                return Ok(Arc::clone(adj));
-            }
-            let sd = registry
-                .subdb(subdb)
+        let edge_adj = |subdb: &String, a: usize, b: usize| -> Result<(&'a SlotAdj, bool), QueryError> {
+            let entry = registry
+                .get(subdb)
                 .ok_or_else(|| QueryError::UnknownSubdb(subdb.clone()))?;
-            let adj = Arc::new(DerivedAdj::build(sd, a, b));
-            adj_cache.insert((subdb.clone(), a, b), Arc::clone(&adj));
-            Ok(adj)
+            Ok(entry
+                .subdb
+                .index()
+                .pair_adj(a, b)
+                .expect("resolved derived edge joins two distinct slots"))
         };
         for (i, e) in ctx.edges.iter().enumerate() {
             if let REdgeKind::Derived { subdb, a, b } = &e.kind {
-                derived_adj.insert(i, cached_build(subdb, *a, *b)?);
+                derived_adj.insert(i, edge_adj(subdb, *a, *b)?);
             }
         }
         if let Some((_, REdgeKind::Derived { subdb, a, b })) = &ctx.closure {
-            derived_adj.insert(usize::MAX, cached_build(subdb, *a, *b)?);
+            derived_adj.insert(usize::MAX, edge_adj(subdb, *a, *b)?);
         }
         let index_scan = ctx
             .slots
@@ -297,33 +259,140 @@ impl<'a> Evaluator<'a> {
         self
     }
 
+    /// Whether `oid` is currently a live instance of `slot`'s base class.
+    /// Dirty sets deliberately keep deleted oids (so cached patterns that
+    /// reference them are invalidated); a deleted or differently-classed
+    /// oid must never *bind* a slot, or a slot-restricted re-derivation
+    /// could resurrect patterns through the other slots.
+    fn live_in_slot(&self, slot: usize, oid: Oid) -> bool {
+        self.db.class_of(oid).is_ok_and(|c| c == self.ctx.slots[slot].base)
+    }
+
     /// Restrict a slot's instances to `oids` (intersected with any derived
-    /// membership). Used by incremental rule maintenance (E11) to compute
-    /// the delta patterns containing a dirty object in that slot.
+    /// membership). Used by incremental rule maintenance to compute the
+    /// delta patterns containing a dirty object in that slot. Oids that are
+    /// not live instances of the slot's base class are dropped.
     pub fn restrict_slot(mut self, slot: usize, oids: BTreeSet<Oid>) -> Self {
-        let m = &mut self.memberships[slot];
-        *m = Some(match m.take() {
-            None => oids,
-            Some(prev) => prev.intersection(&oids).copied().collect(),
-        });
+        let live: BTreeSet<Oid> = oids
+            .into_iter()
+            .filter(|&o| self.live_in_slot(slot, o) && self.member_ok(slot, o))
+            .collect();
+        self.memberships[slot] = Members::Fixed(live);
         // A restriction invalidates any index hint for the slot (the index
         // would widen the candidate set again).
         self.index_scan[slot] = None;
         self
     }
 
+    /// Semi-naive delta evaluation for incremental forward maintenance: the
+    /// union, over every retention span and every slot of that span, of the
+    /// span join with the slot's candidates restricted to `dirty` — i.e.
+    /// every currently-valid pattern with **at least one delta-bound slot**.
+    ///
+    /// Deleted (or re-classified) oids in `dirty` cannot bind a slot and are
+    /// skipped; their stale patterns are dropped by the caller's clean-keep
+    /// pass. Returns bare rows in deterministic (span, slot, join) order; a
+    /// pattern with several dirty slots appears once per slot — callers
+    /// merging into a pattern set absorb the duplicates. No subsumption
+    /// filtering is applied here — the caller unions the delta with the
+    /// retained clean patterns first and re-filters. Not defined for cyclic
+    /// (closure) contexts.
+    pub fn eval_delta(&mut self, name: &str, dirty: &BTreeSet<Oid>) -> Vec<ExtPattern> {
+        debug_assert!(self.ctx.closure.is_none(), "closure contexts are re-derived in full");
+        let width = self.ctx.slots.len();
+        let mut sp = obs::trace::span("oql.delta");
+        sp.label(|| name.to_string());
+        sp.attr("dirty", dirty.len() as i64);
+        let mut rows_out: Vec<ExtPattern> = Vec::new();
+        // Binary single-span associative contexts — the paper's common
+        // association-pair shape — emit their delta rows straight off the
+        // edge: for each dirty oid qualifying for a slot, its accepted
+        // partners across the (single) edge. This skips the generic join
+        // planner's row buffers; the produced row set is identical.
+        if width == 2
+            && self.ctx.spans.as_slice() == [(0usize, 2usize)]
+            && self.ctx.edges.len() == 1
+            && matches!(self.ctx.edges[0].op, crate::ast::PatOp::Assoc)
+        {
+            // `self.ctx` is a shared `&'a` reference, so the edge borrow is
+            // independent of the `&mut self` receiver.
+            let edge = &self.ctx.edges[0].kind;
+            for slot in 0..2usize {
+                let other = 1 - slot;
+                for &o in dirty {
+                    if !self.live_in_slot(slot, o) || !self.accepts(slot, o) {
+                        continue;
+                    }
+                    for n in self.step(0, edge, o, slot == 0) {
+                        if self.accepts(other, n) {
+                            rows_out.push(ExtPattern::new(if slot == 0 {
+                                vec![Some(o), Some(n)]
+                            } else {
+                                vec![Some(n), Some(o)]
+                            }));
+                        }
+                    }
+                }
+            }
+            sp.attr("rows_out", rows_out.len() as i64);
+            if obs::metrics_enabled() {
+                obs::metrics::counter("oql.delta.evals").inc();
+                obs::metrics::counter("oql.delta.rows_out").add(rows_out.len() as u64);
+            }
+            return rows_out;
+        }
+        let spans = self.ctx.spans.clone();
+        for (lo, hi) in spans {
+            for slot in lo..hi {
+                let restricted: BTreeSet<Oid> = dirty
+                    .iter()
+                    .copied()
+                    .filter(|&o| self.live_in_slot(slot, o) && self.member_ok(slot, o))
+                    .collect();
+                if restricted.is_empty() {
+                    continue;
+                }
+                let saved_m = std::mem::replace(
+                    &mut self.memberships[slot],
+                    Members::Fixed(restricted),
+                );
+                let saved_ix = self.index_scan[slot].take();
+                for row in self.join_span(lo, hi) {
+                    let mut comps = vec![None; width];
+                    for (i, oid) in row.into_iter().enumerate() {
+                        comps[lo + i] = Some(oid);
+                    }
+                    rows_out.push(ExtPattern::new(comps));
+                }
+                self.memberships[slot] = saved_m;
+                self.index_scan[slot] = saved_ix;
+            }
+        }
+        sp.attr("rows_out", rows_out.len() as i64);
+        if obs::metrics_enabled() {
+            obs::metrics::counter("oql.delta.evals").inc();
+            obs::metrics::counter("oql.delta.rows_out").add(rows_out.len() as u64);
+        }
+        rows_out
+    }
+
+    /// Whether `oid` satisfies `slot`'s membership constraint.
+    fn member_ok(&self, slot: usize, oid: Oid) -> bool {
+        match &self.memberships[slot] {
+            Members::Open => true,
+            Members::Indexed(ix, s) => ix.slot_contains(*s, oid),
+            Members::Fixed(set) => set.contains(&oid),
+        }
+    }
+
     /// Whether `oid` qualifies for `slot` (derived membership + intra-class
     /// condition; class correctness is guaranteed by traversal).
     fn accepts(&self, slot: usize, oid: Oid) -> bool {
-        if let Some(m) = &self.memberships[slot] {
-            if !m.contains(&oid) {
-                return false;
+        self.member_ok(slot, oid)
+            && match &self.conds[slot] {
+                Some(p) => p.eval(self.db, oid),
+                None => true,
             }
-        }
-        match &self.conds[slot] {
-            Some(p) => p.eval(self.db, oid),
-            None => true,
-        }
     }
 
     /// All qualifying instances of a slot, ascending.
@@ -340,8 +409,13 @@ impl<'a> Evaluator<'a> {
             }
         }
         let base: Vec<Oid> = match &self.memberships[slot] {
-            Some(m) => m.iter().copied().collect(),
-            None => self.db.extent(self.ctx.slots[slot].base).collect(),
+            Members::Open => self.db.extent(self.ctx.slots[slot].base).collect(),
+            Members::Indexed(ix, s) => {
+                let mut v: Vec<Oid> = ix.slot_oids(*s).collect();
+                v.sort_unstable();
+                v
+            }
+            Members::Fixed(set) => set.iter().copied().collect(),
         };
         match &self.conds[slot] {
             Some(p) => {
@@ -360,8 +434,9 @@ impl<'a> Evaluator<'a> {
 
     fn candidate_count_estimate(&self, slot: usize) -> usize {
         match &self.memberships[slot] {
-            Some(m) => m.len(),
-            None => self.db.extent_size(self.ctx.slots[slot].base),
+            Members::Open => self.db.extent_size(self.ctx.slots[slot].base),
+            Members::Indexed(ix, s) => ix.slot_len(*s),
+            Members::Fixed(set) => set.len(),
         }
     }
 
@@ -378,7 +453,7 @@ impl<'a> Evaluator<'a> {
             REdgeKind::Derived { .. } => self
                 .derived_adj
                 .get(&edge_idx)
-                .map(|adj| adj.neighbors(oid, forward).to_vec())
+                .map(|&(adj, flip)| adj.neighbors(oid, forward ^ flip).to_vec())
                 .unwrap_or_default(),
         }
     }
@@ -389,7 +464,7 @@ impl<'a> Evaluator<'a> {
             REdgeKind::Derived { .. } => self
                 .derived_adj
                 .get(&edge_idx)
-                .is_some_and(|adj| adj.neighbors(x, true).binary_search(&y).is_ok()),
+                .is_some_and(|&(adj, flip)| adj.neighbors(x, !flip).binary_search(&y).is_ok()),
         }
     }
 
@@ -917,5 +992,70 @@ mod tests {
         let ev = Evaluator::new(&r, &db, &reg).unwrap();
         assert!(ev.index_scan.iter().any(|h| h.is_some()), "index hint should fire");
         assert_eq!(ev.eval("x").to_vec(), scanned_single.to_vec());
+    }
+
+    #[test]
+    fn restrict_slot_drops_dead_oids() {
+        // A deleted oid must not bind a slot: a slot-restricted evaluation
+        // with the deleted object in the restriction set returns nothing
+        // (it cannot resurrect patterns through the other slots).
+        let (mut db, reg) = setup();
+        let teacher = db.schema().class_by_name("Teacher").unwrap();
+        let t1 = db.extent(teacher).next().unwrap();
+        db.delete_object(t1).unwrap();
+        let e = Parser::parse_context_expr("Teacher * Section * Course").unwrap();
+        let r = resolve_context(&e, db.schema(), &reg).unwrap();
+        let sd = Evaluator::new(&r, &db, &reg)
+            .unwrap()
+            .restrict_slot(0, BTreeSet::from([t1]))
+            .eval("x");
+        assert_eq!(sd.len(), 0, "deleted oid bound a slot");
+        // A live oid of the wrong class is dropped just the same.
+        let course = db.schema().class_by_name("Course").unwrap();
+        let c = db.extent(course).next().unwrap();
+        let sd = Evaluator::new(&r, &db, &reg)
+            .unwrap()
+            .restrict_slot(0, BTreeSet::from([c]))
+            .eval("x");
+        assert_eq!(sd.len(), 0, "wrong-class oid bound a slot");
+    }
+
+    #[test]
+    fn eval_delta_matches_restricted_full() {
+        // eval_delta(dirty) must equal exactly the full-evaluation patterns
+        // that contain at least one dirty component (before subsumption).
+        let (db, reg) = setup();
+        let teacher = db.schema().class_by_name("Teacher").unwrap();
+        let t1 = db.extent(teacher).next().unwrap();
+        for src in ["Teacher * Section * Course", "{Teacher * Section} * Course"] {
+            let e = Parser::parse_context_expr(src).unwrap();
+            let r = resolve_context(&e, db.schema(), &reg).unwrap();
+            let full = Evaluator::new(&r, &db, &reg).unwrap().eval("x");
+            let dirty = BTreeSet::from([t1]);
+            let delta = Evaluator::new(&r, &db, &reg).unwrap().eval_delta("x", &dirty);
+            let expect: BTreeSet<_> = full
+                .patterns()
+                .filter(|p| p.components().iter().flatten().any(|o| dirty.contains(o)))
+                .cloned()
+                .collect();
+            let got: BTreeSet<_> = delta.iter().cloned().collect();
+            // The delta may retain rows the full eval subsumed away; every
+            // expected (maximal) row must be present.
+            assert!(expect.is_subset(&got), "{src}: delta missed rows");
+            // And every delta row touches the dirty set.
+            assert!(got
+                .iter()
+                .all(|p| p.components().iter().flatten().any(|o| dirty.contains(o))));
+        }
+    }
+
+    #[test]
+    fn eval_delta_empty_dirty_is_empty() {
+        let (db, reg) = setup();
+        let e = Parser::parse_context_expr("Teacher * Section * Course").unwrap();
+        let r = resolve_context(&e, db.schema(), &reg).unwrap();
+        let delta =
+            Evaluator::new(&r, &db, &reg).unwrap().eval_delta("x", &BTreeSet::new());
+        assert!(delta.is_empty());
     }
 }

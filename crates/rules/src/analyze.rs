@@ -20,7 +20,11 @@
 //!    negation-through-derivation (`E015`).
 //! 4. **Lints** — dead rules (`W102`), duplicate rule bodies (`W103`), and
 //!    Null-propagation from `{...}` brace retention into `=` comparisons
-//!    (`W104`).
+//!    (`W104`). A strategy-aware lint, `W105` (a forward rule reading a
+//!    backward-derived source, the paper's §6 staleness hazard), runs
+//!    separately via [`lint_forward_reads_backward`] because it needs the
+//!    engine's rule-oriented strategy assignment, not just the program
+//!    text.
 //!
 //! The analyzer is deliberately conservative where runtime resolution is
 //! richer than its static model: edges between two occurrences qualified by
@@ -60,6 +64,55 @@ pub fn analyze(
     a.run();
     diag::sort(&mut a.diags);
     a.diags
+}
+
+/// W105: flag every forward-chaining rule that reads a subdatabase whose
+/// deriving rule is backward-chaining. Under rule-oriented control the
+/// forward rule "will not be triggered to update the result" when its
+/// backward source is absent (paper §6's POSTGRES critique) — the target
+/// goes silently stale. Rules without an entry in `strategies` default to
+/// backward, matching the engine.
+pub fn lint_forward_reads_backward(
+    rules: &[Rule],
+    strategies: &FxHashMap<String, crate::engine::ChainStrategy>,
+) -> Vec<Diagnostic> {
+    use crate::engine::ChainStrategy;
+    let graph = DepGraph::build(rules);
+    let rule_strategy = |r: &Rule| {
+        strategies.get(&r.name).copied().unwrap_or(ChainStrategy::Backward)
+    };
+    let subdb_strategy = |name: &str| {
+        graph
+            .rules_for(name)
+            .first()
+            .map(|&i| rule_strategy(&rules[i]))
+            .unwrap_or(ChainStrategy::Backward)
+    };
+    let mut out = Vec::new();
+    for r in rules {
+        if rule_strategy(r) != ChainStrategy::Forward {
+            continue;
+        }
+        for read in r.reads() {
+            if graph.is_derived(&read) && subdb_strategy(&read) == ChainStrategy::Backward {
+                out.push(
+                    Diagnostic::warning(
+                        "W105",
+                        format!(
+                            "forward rule `{}` reads backward-derived `{read}`: \
+                             `{}` goes silently stale whenever `{read}` is absent",
+                            r.name, r.target_subdb
+                        ),
+                    )
+                    .with_owner(r.name.clone())
+                    .with_note(
+                        "make the source's rule forward too, or use result-oriented control",
+                    ),
+                );
+            }
+        }
+    }
+    out
 }
 
 /// One slot of a statically-modelled derived subdatabase.

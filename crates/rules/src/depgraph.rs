@@ -7,6 +7,7 @@
 use crate::ast::Rule;
 use crate::error::RuleError;
 use dood_core::fxhash::{FxHashMap, FxHashSet};
+use std::sync::OnceLock;
 
 /// The dependency structure of a rule set.
 #[derive(Debug, Default, Clone)]
@@ -15,6 +16,11 @@ pub struct DepGraph {
     pub derives: FxHashMap<String, Vec<usize>>,
     /// Subdatabase name → subdatabases it depends on.
     pub deps: FxHashMap<String, Vec<String>>,
+    /// Memoized topological order — the graph is immutable once built, and
+    /// every propagation round asks for the order and the strata.
+    topo_memo: OnceLock<Vec<String>>,
+    /// Memoized strata.
+    strata_memo: OnceLock<Vec<Vec<String>>>,
 }
 
 impl DepGraph {
@@ -34,7 +40,7 @@ impl DepGraph {
         for v in deps.values_mut() {
             v.sort_unstable();
         }
-        DepGraph { derives, deps }
+        DepGraph { derives, deps, topo_memo: OnceLock::new(), strata_memo: OnceLock::new() }
     }
 
     /// Rules deriving a subdatabase.
@@ -55,6 +61,15 @@ impl DepGraph {
     /// All derived subdatabases in topological (dependency-first) order.
     /// Errors on cycles.
     pub fn topo_order(&self) -> Result<Vec<String>, RuleError> {
+        self.topo_order_ref().map(<[String]>::to_vec)
+    }
+
+    /// Borrowing form of [`topo_order`](Self::topo_order) for internal hot
+    /// paths that only read the order.
+    fn topo_order_ref(&self) -> Result<&[String], RuleError> {
+        if let Some(v) = self.topo_memo.get() {
+            return Ok(v);
+        }
         let mut order = Vec::new();
         let mut state: FxHashMap<&str, u8> = FxHashMap::default(); // 1 grey, 2 black
         let mut names: Vec<&String> = self.derives.keys().collect();
@@ -62,7 +77,7 @@ impl DepGraph {
         for name in names {
             self.visit(name, &mut state, &mut order, &mut Vec::new())?;
         }
-        Ok(order)
+        Ok(self.topo_memo.get_or_init(|| order))
     }
 
     fn visit<'a>(
@@ -108,6 +123,9 @@ impl DepGraph {
     /// maintenance may compute them concurrently and commit in the
     /// within-stratum (sorted-name) order. Errors on cycles.
     pub fn strata(&self) -> Result<Vec<Vec<String>>, RuleError> {
+        if let Some(v) = self.strata_memo.get() {
+            return Ok(v.clone());
+        }
         let order = self.topo_order()?;
         let mut depth: FxHashMap<&str, usize> = FxHashMap::default();
         let mut strata: Vec<Vec<String>> = Vec::new();
@@ -128,7 +146,30 @@ impl DepGraph {
         for s in &mut strata {
             s.sort_unstable();
         }
-        Ok(strata)
+        Ok(self.strata_memo.get_or_init(|| strata).clone())
+    }
+
+    /// The transitive *derived* dependencies of a set of subdatabases, in
+    /// topological (dependency-first) order and excluding the roots
+    /// themselves. Incremental maintenance derives these in order before a
+    /// maintenance batch, so every batch member's sources are materialized
+    /// and the content delta of each is known.
+    pub fn transitive_deps(&self, roots: &[String]) -> Result<Vec<String>, RuleError> {
+        let mut wanted: FxHashSet<&str> = FxHashSet::default();
+        let mut stack: Vec<&str> = roots.iter().map(String::as_str).collect();
+        while let Some(n) = stack.pop() {
+            for d in self.deps_of(n) {
+                if self.derives.contains_key(d.as_str()) && wanted.insert(d.as_str()) {
+                    stack.push(d);
+                }
+            }
+        }
+        let order = self.topo_order_ref()?;
+        Ok(order
+            .iter()
+            .filter(|n| wanted.contains(n.as_str()) && !roots.contains(*n))
+            .cloned()
+            .collect())
     }
 
     /// The set of derived subdatabases that (transitively) depend on any
@@ -240,6 +281,24 @@ mod tests {
                 vec!["REc".to_string()],
             ]
         );
+    }
+
+    #[test]
+    fn transitive_deps_in_topo_order() {
+        let rs = rules(&[
+            ("Ra", "if context A * B then REa (A)"),
+            ("Rb", "if context REa:A * C then REb (A)"),
+            ("Rc", "if context REb:A * REa:A then REc (A)"),
+            ("Rz", "if context E * F then REz (E)"),
+        ]);
+        let g = DepGraph::build(&rs);
+        let deps = g.transitive_deps(&["REc".to_string()]).unwrap();
+        assert_eq!(deps, vec!["REa".to_string(), "REb".to_string()]);
+        // Roots are excluded even when they depend on each other.
+        let deps = g.transitive_deps(&["REb".to_string(), "REc".to_string()]).unwrap();
+        assert_eq!(deps, vec!["REa".to_string()]);
+        assert!(g.transitive_deps(&["REa".to_string()]).unwrap().is_empty());
+        assert!(g.transitive_deps(&["REz".to_string()]).unwrap().is_empty());
     }
 
     #[test]

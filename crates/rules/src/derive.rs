@@ -17,7 +17,7 @@ use dood_core::obs;
 use dood_oql::ast::ClassRef;
 use dood_oql::eval_context;
 use dood_oql::wherec::find_slot;
-use dood_core::subdb::{Subdatabase, SubdbRegistry};
+use dood_core::subdb::{Intension, Subdatabase, SubdbRegistry};
 use dood_store::Database;
 
 /// Evaluate `rule` against the database and the already-derived sources in
@@ -50,6 +50,37 @@ pub fn eval_rule_context(
 ) -> Result<Subdatabase, RuleError> {
     eval_context(&rule.context, &rule.where_, db, registry, "if-context")
         .map_err(RuleError::Query)
+}
+
+/// Resolve a rule's THEN-clause targets to context-slot indices (in target
+/// order, families expanded). Exposed for incremental maintenance, which
+/// counts projections of context patterns onto these slots.
+pub fn target_slots(rule: &Rule, intension: &Intension) -> Result<Vec<usize>, RuleError> {
+    let mut slots: Vec<usize> = Vec::new();
+    for t in &rule.targets {
+        match t {
+            TargetItem::Class { class, .. } => {
+                slots.push(find_slot(intension, class).map_err(|_| {
+                    RuleError::UnknownTarget { rule: rule.name.clone(), target: class.to_string() }
+                })?);
+            }
+            TargetItem::Family { base } => {
+                let fam: Vec<usize> = intension
+                    .slots_of_family(base)
+                    .into_iter()
+                    .filter(|&i| intension.slots[i].name != *base)
+                    .collect();
+                if fam.is_empty() {
+                    return Err(RuleError::UnknownTarget {
+                        rule: rule.name.clone(),
+                        target: format!("{base}_*"),
+                    });
+                }
+                slots.extend(fam);
+            }
+        }
+    }
+    Ok(slots)
 }
 
 /// Build the target subdatabase from an evaluated IF-context.

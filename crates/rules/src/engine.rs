@@ -17,9 +17,9 @@
 
 use crate::ast::Rule;
 use crate::depgraph::DepGraph;
-use crate::derive::{apply_rule, eval_rule_context, layouts_compatible, project_targets};
+use crate::derive::{apply_rule, layouts_compatible};
 use crate::error::RuleError;
-use crate::maintain::{dirty_closure, incremental_apply, supports_incremental};
+use crate::maintain::{delta_apply, dirty_closure, plan_for, seed_cache, MaintainPlan, RuleCache};
 use crate::parser::parse_rule;
 use crate::program::Program;
 use dood_core::diag::Diagnostic;
@@ -60,6 +60,26 @@ pub enum ControlMode {
     RuleOriented,
 }
 
+/// One subdatabase's maintenance state, pulled out of the engine for a
+/// stratum's parallel fan-out: its rules' delta caches plus its registered
+/// copy (with the epoch it was derived at). The worker mutates all of it
+/// in place; the commit loop drains it back.
+struct MaintainState {
+    caches: FxHashMap<String, RuleCache>,
+    entry: Option<(Subdatabase, u64)>,
+}
+
+/// What maintaining one subdatabase produced, for the commit loop.
+enum Maintained {
+    /// Content unchanged: re-register with the old `derived_at` so
+    /// downstream freshness checks keep passing without invalidation.
+    Unchanged { sd: Subdatabase, derived_at: u64 },
+    /// Content changed: commit at the current epoch. `diff` holds the
+    /// delta's component oids when known; `None` means no before-image
+    /// existed and readers must re-seed.
+    Changed { sd: Subdatabase, diff: Option<Vec<Oid>> },
+}
+
 /// The deductive object-oriented database engine: an object store, a rule
 /// set, the registry of derived subdatabases, and OQL.
 pub struct RuleEngine {
@@ -75,14 +95,27 @@ pub struct RuleEngine {
     watermark: u64,
     /// Per rule: the base classes its IF clause reads (hierarchy-closed).
     base_reads: Vec<FxHashSet<ClassId>>,
-    /// E11: use scoped delta maintenance where sound.
+    /// Use semi-naive delta maintenance where sound (the default; see
+    /// DESIGN.md §9). Disabled = the full-recompute ablation baseline.
     incremental: bool,
-    /// Cached IF-contexts per rule (incremental mode).
-    ctx_cache: FxHashMap<String, dood_core::subdb::Subdatabase>,
+    /// Per-rule maintenance caches (context, WHERE verdicts, derivation
+    /// counts, target) keyed by rule name.
+    caches: FxHashMap<String, RuleCache>,
     /// Treat analyzer warnings as fatal in [`RuleEngine::register`].
     strict: bool,
-    /// Dirty objects of the update batch being propagated, when any.
+    /// Dirty objects of the update batch being propagated, when any. Grows
+    /// as maintained subdatabases commit content diffs.
     current_dirty: Option<std::collections::BTreeSet<Oid>>,
+    /// Event-log watermark the current dirty set starts from: a rule cache
+    /// at `at_seq >= dirty_from` can be delta-advanced by `current_dirty`.
+    dirty_from: u64,
+    /// Subdatabases (re)materialized this propagate without a before-image;
+    /// readers cannot trust their content delta and re-seed in full.
+    unknown: FxHashSet<String>,
+    /// Forward targets skipped by the last effective propagate because a
+    /// backward-derived source was absent (rule-oriented mode) — these are
+    /// now silently stale, per the paper's POSTGRES critique.
+    stale_skips: Vec<String>,
     /// The engine's subscription in the store's event log: acknowledged up
     /// to the forward-chaining watermark, so log compaction never drops an
     /// unconsumed event and `doodprof --metrics` can report engine lag.
@@ -108,24 +141,42 @@ impl RuleEngine {
             mode: ControlMode::ResultOriented,
             watermark,
             base_reads: Vec::new(),
-            incremental: false,
-            ctx_cache: FxHashMap::default(),
+            incremental: true,
+            caches: FxHashMap::default(),
             current_dirty: None,
+            dirty_from: watermark,
+            unknown: FxHashSet::default(),
+            stale_skips: Vec::new(),
             strict: false,
             events_sub,
         }
     }
 
-    /// Enable/disable scoped incremental forward maintenance (E11).
-    /// Incremental mode caches each eligible rule's IF-context and, on
-    /// update, re-derives only the patterns containing touched objects;
-    /// rules with closures, braces or aggregate WHEREs fall back to full
-    /// re-derivation. Off by default (the ablation baseline).
+    /// Enable/disable semi-naive incremental forward maintenance.
+    /// Incremental mode (the default) caches each rule's IF-context, WHERE
+    /// verdicts and derivation counts and, on update, re-derives only the
+    /// patterns containing touched objects; closure rules fall back to full
+    /// re-derivation. Disabling gives the full-recompute ablation baseline
+    /// (E11/E16).
     pub fn set_incremental(&mut self, on: bool) {
         self.incremental = on;
         if !on {
-            self.ctx_cache.clear();
+            self.caches.clear();
         }
+    }
+
+    /// Forward targets the last effective propagate left silently stale
+    /// because a backward-derived source was absent (rule-oriented mode
+    /// only — the inconsistency the paper's §6 critique predicts).
+    pub fn stale_skips(&self) -> &[String] {
+        &self.stale_skips
+    }
+
+    /// Static strategy diagnostics for the registered rules under the
+    /// current rule-oriented strategy assignment — currently W105: a
+    /// forward rule reading a backward-derived source.
+    pub fn strategy_diagnostics(&self) -> Vec<Diagnostic> {
+        crate::analyze::lint_forward_reads_backward(&self.rules, &self.strategies)
     }
 
     /// Read access to the store.
@@ -362,6 +413,9 @@ impl RuleEngine {
         }
         let idxs = self.graph.rules_for(name).to_vec();
         debug_assert!(!idxs.is_empty());
+        let mut sp = obs::trace::span("rules.derive");
+        sp.label(|| name.to_string());
+        sp.attr("rules", idxs.len() as i64);
         let mut acc: Option<Subdatabase> = None;
         for i in idxs {
             let rule = self.rules[i].clone();
@@ -381,6 +435,7 @@ impl RuleEngine {
             });
         }
         let sd = acc.expect("at least one rule ran");
+        sp.attr("rows_out", sd.len() as i64);
         self.commit_derived(sd);
         Ok(())
     }
@@ -417,24 +472,23 @@ impl RuleEngine {
     }
 
     /// Apply one rule, via the delta path when enabled and sound, caching
-    /// the IF-context for the next delta.
+    /// the maintenance state for the next delta.
     fn apply_one(&mut self, rule: &Rule) -> Result<Subdatabase, RuleError> {
-        if !self.incremental {
+        if !self.incremental || plan_for(rule) == MaintainPlan::Recompute {
             return apply_rule(rule, &self.db, &self.registry);
         }
-        if supports_incremental(rule) {
-            if let (Some(old_ctx), Some(dirty)) =
-                (self.ctx_cache.get(&rule.name), self.current_dirty.as_ref())
-            {
-                let (target, ctx) =
-                    incremental_apply(rule, &self.db, &self.registry, old_ctx, dirty)?;
-                self.ctx_cache.insert(rule.name.clone(), ctx);
-                return Ok(target);
+        let sources_known = rule.reads().iter().all(|r| !self.unknown.contains(r));
+        if let (Some(cache), Some(dirty)) =
+            (self.caches.get_mut(&rule.name), self.current_dirty.as_ref())
+        {
+            if sources_known && cache.at_seq >= self.dirty_from {
+                delta_apply(rule, &self.db, &self.registry, cache, dirty)?;
+                return Ok(cache.target.clone());
             }
         }
-        let ctx = eval_rule_context(rule, &self.db, &self.registry)?;
-        let target = project_targets(rule, &ctx, &self.db)?;
-        self.ctx_cache.insert(rule.name.clone(), ctx);
+        let cache = seed_cache(rule, &self.db, &self.registry)?;
+        let target = cache.target.clone();
+        self.caches.insert(rule.name.clone(), cache);
         Ok(target)
     }
 
@@ -445,6 +499,7 @@ impl RuleEngine {
     /// Consume new update events and run forward chaining per the current
     /// control mode. Returns the names of re-derived subdatabases.
     pub fn propagate(&mut self) -> Result<Vec<String>, RuleError> {
+        let prev_watermark = self.watermark;
         let events = self.db.events().since(self.watermark).to_vec();
         self.watermark = self.db.seq();
         self.db.events_mut().ack(self.events_sub, self.watermark);
@@ -457,6 +512,9 @@ impl RuleEngine {
             sp.attr("rederived", 0);
             return Ok(Vec::new());
         }
+        self.stale_skips.clear();
+        self.unknown.clear();
+        self.dirty_from = prev_watermark;
         // Classes touched by the batch.
         let mut touched: FxHashSet<ClassId> = FxHashSet::default();
         for e in &events {
@@ -466,14 +524,7 @@ impl RuleEngine {
         }
         // Objects touched by the batch (for delta maintenance).
         if self.incremental {
-            use dood_store::UpdateEvent as E;
-            let oids = events.iter().flat_map(|e| match e {
-                E::ObjectCreated { oid, .. } | E::ObjectDeleted { oid, .. } => vec![*oid],
-                E::Associated { from, to, .. } | E::Dissociated { from, to, .. } => {
-                    vec![*from, *to]
-                }
-                E::AttrSet { oid, .. } => vec![*oid],
-            });
+            let oids = events.iter().flat_map(|e| e.touched_oids());
             self.current_dirty = Some(dirty_closure(&self.db, oids));
         }
         // Dirty subdatabases: derived by a rule reading a touched class.
@@ -490,6 +541,12 @@ impl RuleEngine {
         };
         let order = self.graph.topo_order()?;
         let mut rederived = Vec::new();
+        if self.mode == ControlMode::ResultOriented && self.incremental {
+            let rederived = self.propagate_incremental(&affected, &order)?;
+            self.current_dirty = None;
+            sp.attr("rederived", rederived.len() as i64);
+            return Ok(rederived);
+        }
         if self.mode == ControlMode::ResultOriented && !self.incremental {
             // Stratum-parallel forward maintenance: same-stratum results
             // are independent (deps live in strictly earlier strata), so
@@ -540,45 +597,44 @@ impl RuleEngine {
             sp.attr("rederived", rederived.len() as i64);
             return Ok(rederived);
         }
+        // Rule-oriented (POSTGRES-style) propagation: both result-oriented
+        // branches returned above.
+        debug_assert_eq!(self.mode, ControlMode::RuleOriented);
         for name in order {
             if !affected.contains(&name) {
                 continue;
             }
-            match self.mode {
-                ControlMode::ResultOriented => match self.policy(&name) {
-                    EvalPolicy::PreEvaluated => {
-                        // Forward-maintain: sources are ensured fresh first
-                        // (post-evaluated sources are derived on the fly —
-                        // the rule runs backward for them, forward for us).
-                        self.derive_forced(&name)?;
+            match self.subdb_strategy(&name) {
+                ChainStrategy::Forward => {
+                    // POSTGRES restriction: a forward rule reads its
+                    // sources *as materialized right now*. If a source is
+                    // backward-derived (absent), the rule cannot run and
+                    // the target stays stale — recorded in `stale_skips`
+                    // and the `rules.maintain.stale_skip` metric rather
+                    // than silently dropped.
+                    let sources_present = self
+                        .graph
+                        .deps_of(&name)
+                        .iter()
+                        .all(|d| self.registry.subdb(d).is_some());
+                    if sources_present {
+                        let before = self.registry.subdb(&name).cloned();
+                        self.run_rules_for(&name)?;
+                        self.record_commit_delta(&name, before.as_ref());
                         rederived.push(name);
-                    }
-                    EvalPolicy::PostEvaluated => {
-                        // Invalidate; the next query re-derives.
-                        self.registry.remove(&name);
-                    }
-                },
-                ControlMode::RuleOriented => match self.subdb_strategy(&name) {
-                    ChainStrategy::Forward => {
-                        // POSTGRES restriction: a forward rule reads its
-                        // sources *as materialized right now*. If a source is
-                        // backward-derived (absent), the rule cannot run and
-                        // the target silently stays stale.
-                        let sources_present = self
-                            .graph
-                            .deps_of(&name)
-                            .iter()
-                            .all(|d| self.registry.subdb(d).is_some());
-                        if sources_present {
-                            self.run_rules_for(&name)?;
-                            rederived.push(name);
+                    } else {
+                        if !self.stale_skips.contains(&name) {
+                            self.stale_skips.push(name.clone());
+                        }
+                        if obs::metrics_enabled() {
+                            obs::metrics::counter("rules.maintain.stale_skip").inc();
                         }
                     }
-                    ChainStrategy::Backward => {
-                        // Backward results are not preserved across updates.
-                        self.registry.remove(&name);
-                    }
-                },
+                }
+                ChainStrategy::Backward => {
+                    // Backward results are not preserved across updates.
+                    self.registry.remove(&name);
+                }
             }
         }
         self.current_dirty = None;
@@ -586,15 +642,316 @@ impl RuleEngine {
         Ok(rederived)
     }
 
-    /// Recompute `name` after ensuring its sources are fresh (used by
-    /// forward maintenance).
-    fn derive_forced(&mut self, name: &str) -> Result<(), RuleError> {
-        for dep in self.graph.deps_of(name).to_vec() {
-            if self.graph.is_derived(&dep) {
-                self.derive(&dep)?;
+    /// After committing a maintained subdatabase, fold its content delta
+    /// into the running dirty set (perspective-closed) so downstream rules'
+    /// delta steps see source-extent changes — aggregate verdict flips can
+    /// add or drop target patterns whose components were never base-dirty.
+    /// Without a before-image the delta is unknowable: the name goes into
+    /// `unknown` and readers re-seed in full.
+    fn record_commit_delta(&mut self, name: &str, before: Option<&Subdatabase>) {
+        if self.current_dirty.is_none() {
+            return;
+        }
+        match (before, self.registry.subdb(name)) {
+            (Some(b), Some(a)) => {
+                let diff = b.diff_components(a);
+                if !diff.is_empty() {
+                    let closed = dirty_closure(&self.db, diff);
+                    if let Some(d) = self.current_dirty.as_mut() {
+                        d.extend(closed);
+                    }
+                }
+            }
+            _ => {
+                self.unknown.insert(name.to_string());
             }
         }
-        self.run_rules_for(name)
+    }
+
+    /// Result-oriented incremental propagation: stratum-by-stratum
+    /// semi-naive delta maintenance (DESIGN.md §9). Within a stratum,
+    /// pre-evaluated members are maintained concurrently against the
+    /// read-only store and registry and committed in deterministic order;
+    /// every commit's content delta feeds the dirty set of later strata.
+    fn propagate_incremental(
+        &mut self,
+        affected: &FxHashSet<String>,
+        order: &[String],
+    ) -> Result<Vec<String>, RuleError> {
+        let mut rederived: Vec<String> = Vec::new();
+        // Before-images of invalidated post-evaluated results: when a later
+        // stratum backward-derives one as a source, its content delta is
+        // computed against this image.
+        let mut removed: FxHashMap<String, Subdatabase> = FxHashMap::default();
+        let pool = ChunkPool::from_env();
+        for (stratum_idx, stratum) in self.graph.strata()?.into_iter().enumerate() {
+            let mut ssp = obs::trace::span("rules.stratum");
+            ssp.attr("index", stratum_idx as i64);
+            let mut batch: Vec<String> = Vec::new();
+            for name in stratum {
+                if !affected.contains(&name) {
+                    continue;
+                }
+                match self.policy(&name) {
+                    // Forward-maintain: collected for this stratum's
+                    // parallel fan-out.
+                    EvalPolicy::PreEvaluated => batch.push(name),
+                    EvalPolicy::PostEvaluated => {
+                        // Invalidate; the next query re-derives.
+                        if let Some(old) = self.registry.remove(&name) {
+                            removed.insert(name, old);
+                        }
+                    }
+                }
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            // Ensure sources fresh, dependency-first, recording each
+            // content delta *before* any reader's delta step runs.
+            for dep in self.graph.transitive_deps(&batch)? {
+                if !self.needs_derivation(&dep) {
+                    continue;
+                }
+                let before = self
+                    .registry
+                    .subdb(&dep)
+                    .cloned()
+                    .or_else(|| removed.get(&dep).cloned());
+                self.derive(&dep)?;
+                self.record_commit_delta(&dep, before.as_ref());
+            }
+            ssp.attr("subdbs", batch.len() as i64);
+            // Lend the dirty set to the fan-out (reinstalled below before
+            // the commit loop extends it) instead of cloning per stratum.
+            let dirty = self.current_dirty.take().unwrap_or_default();
+            // Pull each member's maintenance state — its rules' caches and
+            // its registered copy — out of the engine so every worker owns
+            // its item and can mutate it in place. Same-stratum members
+            // never read one another (their sources live in strictly
+            // earlier strata), so removing the registry entries here is
+            // invisible to the fan-out.
+            let items: Vec<(String, std::sync::Mutex<MaintainState>)> = batch
+                .into_iter()
+                .map(|name| {
+                    let mut caches = FxHashMap::default();
+                    for &i in self.graph.rules_for(&name) {
+                        let rn = &self.rules[i].name;
+                        if let Some(c) = self.caches.remove(rn) {
+                            caches.insert(rn.clone(), c);
+                        }
+                    }
+                    let entry = self.registry.take(&name);
+                    (name, std::sync::Mutex::new(MaintainState { caches, entry }))
+                })
+                .collect();
+            let results = pool.par_map(&items, |(name, state)| {
+                let mut st = state.lock().expect("maintain state lock");
+                self.maintain_subdb(name, &mut st, &dirty)
+            });
+            self.current_dirty = Some(dirty);
+            let mut first_err: Option<RuleError> = None;
+            for ((name, state), result) in items.into_iter().zip(results) {
+                let state = state.into_inner().expect("maintain state lock");
+                for (rn, c) in state.caches {
+                    self.caches.insert(rn, c);
+                }
+                match result {
+                    Err(e) => {
+                        // Restore the untouched registered copy so a rule
+                        // error does not silently drop a materialized
+                        // subdatabase.
+                        if let Some((sd, at)) = state.entry {
+                            self.registry.put(sd, at);
+                        }
+                        first_err.get_or_insert(e);
+                    }
+                    Ok(Maintained::Unchanged { sd, derived_at }) => {
+                        // Content unchanged: re-register the copy with its
+                        // old derived_at, sparing downstream invalidation.
+                        self.registry.put(sd, derived_at);
+                        if obs::metrics_enabled() {
+                            obs::metrics::counter("rules.maintain.unchanged").inc();
+                        }
+                        rederived.push(name);
+                    }
+                    Ok(Maintained::Changed { sd, diff }) => {
+                        self.commit_derived(sd);
+                        match diff {
+                            Some(d) => {
+                                if !d.is_empty() {
+                                    let closed = dirty_closure(&self.db, d);
+                                    if let Some(cd) = self.current_dirty.as_mut() {
+                                        cd.extend(closed);
+                                    }
+                                }
+                            }
+                            // Without a before-image the content delta is
+                            // unknowable: readers must re-seed in full.
+                            None => {
+                                self.unknown.insert(name.clone());
+                            }
+                        }
+                        rederived.push(name);
+                    }
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+        }
+        let pos: FxHashMap<&str, usize> =
+            order.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+        rederived.sort_unstable_by_key(|n| pos[n.as_str()]);
+        Ok(rederived)
+    }
+
+    /// Refresh `name`'s maintenance state — delta where the caches allow,
+    /// seeding otherwise — *without* touching the engine. `&self` stays
+    /// read-only, so same-stratum results run on separate threads; all
+    /// mutation lands in the worker-owned `state`. Returns the refreshed
+    /// registered copy plus what the commit loop needs to know.
+    fn maintain_subdb(
+        &self,
+        name: &str,
+        state: &mut MaintainState,
+        dirty: &std::collections::BTreeSet<Oid>,
+    ) -> Result<Maintained, RuleError> {
+        let idxs = self.graph.rules_for(name);
+        debug_assert!(!idxs.is_empty());
+        let mut sp = obs::trace::span("rules.derive");
+        sp.label(|| name.to_string());
+        sp.attr("rules", idxs.len() as i64);
+
+        // Hot path: a single delta-maintainable rule with a usable cache
+        // and a registered copy. The step's exact edits are replayed onto
+        // that copy in O(|edits|) — no context-sized clone, rebuild, or
+        // compare anywhere on this path.
+        if let &[i] = idxs {
+            let rule = &self.rules[i];
+            // For a single-rule subdatabase the dep-graph edge list equals
+            // the rule's read set, and borrowing it avoids the per-step
+            // `reads()` allocation.
+            let sources_known =
+                self.graph.deps_of(name).iter().all(|r| !self.unknown.contains(r));
+            if plan_for(rule) != MaintainPlan::Recompute
+                && sources_known
+                && state.entry.is_some()
+            {
+                if let Some(cache) = state.caches.get_mut(&rule.name) {
+                    let step_dirty = if cache.at_seq >= self.dirty_from {
+                        Some(std::borrow::Cow::Borrowed(dirty))
+                    } else if cache.at_seq >= self.db.events().dropped() {
+                        // The cache predates this batch: the subdatabase sat
+                        // out earlier propagates because nothing it reads
+                        // changed (it is materialized, so it was never
+                        // dropped while affected). Replay the event log from
+                        // `at_seq` to rebuild the rule-local dirty set
+                        // instead of re-seeding.
+                        let replay = self
+                            .db
+                            .events()
+                            .since(cache.at_seq)
+                            .iter()
+                            .flat_map(|e| e.touched_oids());
+                        let mut full_dirty = dirty_closure(&self.db, replay);
+                        full_dirty.extend(dirty.iter().copied());
+                        Some(std::borrow::Cow::Owned(full_dirty))
+                    } else {
+                        None
+                    };
+                    if let Some(step_dirty) = step_dirty {
+                        let out =
+                            delta_apply(rule, &self.db, &self.registry, cache, &step_dirty)?;
+                        let (mut sd, derived_at) = state.entry.take().expect("checked above");
+                        for p in &out.removed {
+                            sd.remove(p);
+                        }
+                        for p in &out.inserted {
+                            sd.insert(p.clone());
+                        }
+                        debug_assert!(
+                            sd.patterns().eq(cache.target.patterns()),
+                            "registered copy diverged from maintained target for {name}"
+                        );
+                        sp.attr("rows_out", sd.len() as i64);
+                        return Ok(if out.changed() {
+                            let diff: Vec<Oid> = out.components().into_iter().collect();
+                            Maintained::Changed { sd, diff: Some(diff) }
+                        } else {
+                            Maintained::Unchanged { sd, derived_at }
+                        });
+                    }
+                }
+            }
+        }
+
+        // General path: recomputing rules, multi-rule unions, and seeding.
+        let mut acc: Option<Subdatabase> = None;
+        for &i in idxs {
+            let rule = &self.rules[i];
+            let sd = if plan_for(rule) == MaintainPlan::Recompute {
+                apply_rule(rule, &self.db, &self.registry)?
+            } else {
+                let sources_known = rule.reads().iter().all(|r| !self.unknown.contains(r));
+                let stepped = match state.caches.get_mut(&rule.name) {
+                    Some(c) if sources_known && c.at_seq >= self.dirty_from => {
+                        delta_apply(rule, &self.db, &self.registry, c, dirty)?;
+                        true
+                    }
+                    Some(c)
+                        if sources_known
+                            && state.entry.is_some()
+                            && c.at_seq >= self.db.events().dropped() =>
+                    {
+                        // Same sat-out replay as the hot path, for a rule
+                        // inside a multi-rule union.
+                        let replay = self
+                            .db
+                            .events()
+                            .since(c.at_seq)
+                            .iter()
+                            .flat_map(|e| e.touched_oids());
+                        let mut full_dirty = dirty_closure(&self.db, replay);
+                        full_dirty.extend(dirty.iter().copied());
+                        delta_apply(rule, &self.db, &self.registry, c, &full_dirty)?;
+                        true
+                    }
+                    _ => false,
+                };
+                if !stepped {
+                    let cache = seed_cache(rule, &self.db, &self.registry)?;
+                    state.caches.insert(rule.name.clone(), cache);
+                }
+                state.caches.get(&rule.name).expect("just stepped or seeded").target.clone()
+            };
+            acc = Some(match acc {
+                None => sd,
+                Some(mut prev) => {
+                    if !layouts_compatible(&prev, &sd) {
+                        return Err(RuleError::TargetLayoutMismatch {
+                            subdb: name.to_string(),
+                            rule: self.rules[i].name.clone(),
+                        });
+                    }
+                    prev.union_from(&sd);
+                    prev
+                }
+            });
+        }
+        let sd = acc.expect("at least one rule ran");
+        sp.attr("rows_out", sd.len() as i64);
+        Ok(match state.entry.take() {
+            Some((old, derived_at)) => {
+                if old.patterns().eq(sd.patterns()) {
+                    Maintained::Unchanged { sd, derived_at }
+                } else {
+                    let diff = old.diff_components(&sd);
+                    Maintained::Changed { sd, diff: Some(diff) }
+                }
+            }
+            None => Maintained::Changed { sd, diff: None },
+        })
     }
 
     // ------------------------------------------------------------------
@@ -649,8 +1006,13 @@ impl RuleEngine {
     /// consistency oracle used to demonstrate the §6 staleness scenario.
     pub fn is_consistent(&self, name: &str) -> Result<bool, RuleError> {
         let Some(current) = self.registry.subdb(name) else {
-            // Absent ≠ inconsistent: it will be derived on demand.
-            return Ok(true);
+            // Absent ≠ inconsistent when the result is computed on demand.
+            // Under a rule-oriented *forward* strategy, though, the copy
+            // "is always kept available" — absence is staleness.
+            let forward_required = self.mode == ControlMode::RuleOriented
+                && self.graph.is_derived(name)
+                && self.subdb_strategy(name) == ChainStrategy::Forward;
+            return Ok(!forward_required);
         };
         let fresh = self.derive_fresh(name)?;
         Ok(fresh.to_vec() == current.to_vec())

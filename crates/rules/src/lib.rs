@@ -23,7 +23,10 @@ pub use analyze::analyze;
 pub use ast::{Rule, TargetItem};
 pub use depgraph::DepGraph;
 pub use derive::{apply_rule, eval_rule_context, project_targets};
-pub use maintain::{dirty_closure, incremental_apply, incremental_context, supports_incremental};
+pub use maintain::{
+    delta_apply, dirty_closure, plan_for, seed_cache, supports_incremental, DeltaOutcome,
+    MaintainPlan, RuleCache,
+};
 pub use engine::{ChainStrategy, ControlMode, EvalPolicy, RuleEngine};
 pub use error::RuleError;
 pub use parser::{parse_rule, parse_rule_spanned, RuleSpans};

@@ -1,127 +1,541 @@
-//! Incremental (delta) forward maintenance — DESIGN.md ablation E11.
+//! Semi-naive incremental forward maintenance (DESIGN.md §9).
 //!
 //! The paper's forward chaining "runs the relevant deductive rules to
 //! maintain the consistency between the derived subdatabase and the
-//! original database" but does not prescribe *how*. The baseline
-//! implementation re-derives affected results in full; this module adds a
-//! scoped alternative for rules whose semantics localize:
+//! original database" but does not prescribe *how*. This module implements
+//! event-log-driven delta maintenance: given the set of *dirty* objects
+//! touched by an update batch (closed over perspective/identity links),
+//! every cached context pattern either
 //!
-//! Given the set of *dirty* objects touched by an update batch (closed over
-//! perspective/identity links), every context pattern either
+//! 1. contains no dirty object — it cannot have changed and is kept; or
+//! 2. contains a dirty object — it is dropped, and every pattern with at
+//!    least one delta-bound slot is re-derived by the semi-naive restricted
+//!    join [`Evaluator::eval_delta`].
 //!
-//! 1. contains no dirty object — it cannot have changed, and is kept from
-//!    the cached context; or
-//! 2. contains a dirty object in some slot — it is re-derived by evaluating
-//!    the context with that slot restricted to the dirty set.
-//!
-//! This is sound exactly when pattern membership is per-pattern-local:
-//! single-span (no braces) contexts without closure and without aggregate
-//! WHERE conditions. [`supports_incremental`] gates on that; everything
-//! else falls back to full re-derivation.
+//! Deletion is handled by *derivation counts*: the target is the projection
+//! of the post-WHERE context, so each target pattern carries the number of
+//! context patterns deriving it; a target pattern dies exactly when its
+//! count reaches zero. Aggregate WHERE conditions are not per-pattern-local
+//! (one pattern joining a group can flip the verdict of every other member)
+//! so the WHERE clause is split at the first aggregate: the *prefix* of
+//! plain comparisons has cacheable per-pattern verdicts, the *suffix* is
+//! re-applied to the whole refreshed set on every delta. Only cyclic
+//! (closure) contexts and closure-family targets fall back to full
+//! re-derivation — the chain being rebuilt is not a local function of the
+//! dirty objects.
 
-use crate::ast::Rule;
-use crate::derive::project_targets;
+use crate::ast::{Rule, TargetItem};
+use crate::derive::{project_targets, target_slots};
 use crate::error::RuleError;
-use dood_core::fxhash::FxHashSet;
+use dood_core::fxhash::{FxHashMap, FxHashSet};
 use dood_core::ids::Oid;
-use dood_core::subdb::{Subdatabase, SubdbRegistry};
-use dood_oql::ast::{Item, Seq, WhereCond};
+use dood_core::obs;
+use dood_core::subdb::{ExtPattern, Subdatabase, SubdbRegistry};
+use dood_oql::ast::WhereCond;
 use dood_oql::eval::Evaluator;
-use dood_oql::resolve::resolve_context;
+use dood_oql::resolve::{resolve_context, ResolvedContext};
 use dood_oql::wherec::apply_where;
 use dood_store::Database;
 use std::collections::BTreeSet;
 
-/// Whether scoped incremental maintenance is sound for this rule: a single
-/// linear span (no braces), no closure, and only per-pattern (non-aggregate)
-/// WHERE conditions.
-pub fn supports_incremental(rule: &Rule) -> bool {
-    fn no_groups(seq: &Seq) -> bool {
-        let flat = |i: &Item| matches!(i, Item::Class { .. });
-        flat(&seq.first) && seq.rest.iter().all(|(_, i)| flat(i))
+/// How a rule can be maintained under updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintainPlan {
+    /// No aggregates, no closure: clean patterns keep their cached WHERE
+    /// verdicts and the target is rebuilt from derivation counts.
+    DeltaLocal,
+    /// Aggregate WHERE conditions present: the context delta is still
+    /// semi-naive, but the aggregate suffix re-applies to the whole
+    /// refreshed set (group membership is not pattern-local).
+    DeltaReWhere,
+    /// Cyclic (closure) context or closure-family target: re-derive in
+    /// full.
+    Recompute,
+}
+
+/// Classify a rule for incremental maintenance.
+pub fn plan_for(rule: &Rule) -> MaintainPlan {
+    let family = rule.targets.iter().any(|t| matches!(t, TargetItem::Family { .. }));
+    if rule.context.closure.is_some() || family {
+        return MaintainPlan::Recompute;
     }
-    rule.context.closure.is_none()
-        && no_groups(&rule.context.seq)
-        && rule.where_.iter().all(|w| matches!(w, WhereCond::Cmp { .. }))
+    if rule.where_.iter().any(|w| matches!(w, WhereCond::Agg { .. })) {
+        MaintainPlan::DeltaReWhere
+    } else {
+        MaintainPlan::DeltaLocal
+    }
+}
+
+/// Whether delta maintenance is sound for this rule (anything but a full
+/// recompute).
+pub fn supports_incremental(rule: &Rule) -> bool {
+    plan_for(rule) != MaintainPlan::Recompute
 }
 
 /// Expand an update batch's touched objects over the identity links: a
 /// pattern slot may hold a different perspective of the touched object.
+/// Deleted oids are *kept* — they invalidate cached patterns referencing
+/// them — but can never re-bind a slot ([`Evaluator::restrict_slot`] and
+/// [`Evaluator::eval_delta`] drop non-live oids).
 pub fn dirty_closure(db: &Database, touched: impl IntoIterator<Item = Oid>) -> BTreeSet<Oid> {
-    let mut out = BTreeSet::new();
-    for oid in touched {
-        out.insert(oid); // deleted objects have no closure but stay dirty
-        for p in db.perspective_closure(oid) {
-            out.insert(p);
-        }
-    }
-    out
+    // Deleted objects have no closure but stay dirty (they seed the set).
+    db.perspective_closure_set(touched)
 }
 
-/// Incrementally refresh a rule's *context* subdatabase. `old_ctx` is the
-/// cached context from the previous derivation; `dirty` is the
-/// perspective-closed set of touched objects. Returns the fresh context.
-pub fn incremental_context(
+/// Split a WHERE clause at the first aggregate condition. `apply_where`
+/// applies conditions in written order and aggregates group over the
+/// currently-filtered set, so the prefix/suffix application order is
+/// exactly the original order.
+fn split_where(conds: &[WhereCond]) -> (&[WhereCond], &[WhereCond]) {
+    let cut = conds
+        .iter()
+        .position(|w| matches!(w, WhereCond::Agg { .. }))
+        .unwrap_or(conds.len());
+    conds.split_at(cut)
+}
+
+/// The per-rule state carried between maintenance steps.
+#[derive(Debug, Clone)]
+pub struct RuleCache {
+    /// The IF-context before any WHERE condition (post-subsumption).
+    pub ctx_pre: Subdatabase,
+    /// The context after the WHERE *prefix* (plain comparisons before the
+    /// first aggregate). Per-pattern verdicts here are stable for clean
+    /// patterns.
+    post: Subdatabase,
+    /// Derivation counts: target projection → number of post-context
+    /// patterns deriving it ([`MaintainPlan::DeltaLocal`] only).
+    counts: FxHashMap<ExtPattern, u32>,
+    /// The projected target as of `at_seq`.
+    pub target: Subdatabase,
+    /// Event-log sequence number the cache reflects. A delta application
+    /// is sound iff every event after `at_seq` is covered by the dirty set.
+    pub at_seq: u64,
+    /// The rule's resolved context, computed once at seeding. Resolution
+    /// depends on the schema and the sources' *intensions* only — both
+    /// fixed for the lifetime of a rule program — so delta steps reuse it.
+    resolved: ResolvedContext,
+}
+
+/// Tally derivation counts: how many post-context patterns project onto
+/// each (non-empty) target pattern.
+fn tally(post: &Subdatabase, slots: &[usize]) -> FxHashMap<ExtPattern, u32> {
+    let mut counts: FxHashMap<ExtPattern, u32> = FxHashMap::default();
+    for p in post.patterns() {
+        let key = p.project(slots);
+        if key.pattern_type().arity() == 0 {
+            continue;
+        }
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Derive a rule from scratch and build its maintenance cache. Span and
+/// metric output matches [`crate::derive::apply_rule`] (one `rules.rule`
+/// span with `ctx_rows`/`target_rows`).
+pub fn seed_cache(
     rule: &Rule,
     db: &Database,
     registry: &SubdbRegistry,
-    old_ctx: &Subdatabase,
-    dirty: &BTreeSet<Oid>,
-) -> Result<Subdatabase, RuleError> {
-    debug_assert!(supports_incremental(rule), "caller must gate on supports_incremental");
+) -> Result<RuleCache, RuleError> {
+    let mut sp = obs::trace::span("rules.rule");
+    sp.label(|| rule.name.clone());
+    if obs::metrics_enabled() {
+        obs::metrics::counter("rules.rule.applications").inc();
+    }
     let resolved =
         resolve_context(&rule.context, db.schema(), registry).map_err(RuleError::Query)?;
-    let width = resolved.slots.len();
-    let dirty_hash: FxHashSet<Oid> = dirty.iter().copied().collect();
-
-    // 1. Patterns untouched by the update survive as-is.
-    let mut fresh = Subdatabase::new(old_ctx.name.clone(), old_ctx.intension.clone());
-    for p in old_ctx.patterns() {
-        let clean = p
-            .components()
-            .iter()
-            .flatten()
-            .all(|o| !dirty_hash.contains(o));
-        if clean {
-            fresh.insert(p.clone());
-        }
-    }
-
-    // 2. Re-derive every pattern that contains a dirty object in some slot.
-    for slot in 0..width {
-        let ev = Evaluator::new(&resolved, db, registry)
-            .map_err(RuleError::Query)?
-            .restrict_slot(slot, dirty.clone());
-        let mut delta = ev.eval(&old_ctx.name);
-        apply_where(&mut delta, &rule.where_, db).map_err(RuleError::Query)?;
-        for p in delta.patterns() {
-            fresh.insert(p.clone());
-        }
-    }
-    Ok(fresh)
+    let ctx_pre = Evaluator::new(&resolved, db, registry)
+        .map_err(RuleError::Query)?
+        .eval("if-context");
+    let (prefix, suffix) = split_where(&rule.where_);
+    let mut post = ctx_pre.clone();
+    apply_where(&mut post, prefix, db).map_err(RuleError::Query)?;
+    let mut full = post.clone();
+    apply_where(&mut full, suffix, db).map_err(RuleError::Query)?;
+    sp.attr("ctx_rows", full.len() as i64);
+    let target = project_targets(rule, &full, db)?;
+    sp.attr("target_rows", target.len() as i64);
+    let counts = if plan_for(rule) == MaintainPlan::DeltaLocal {
+        tally(&post, &target_slots(rule, &post.intension)?)
+    } else {
+        FxHashMap::default()
+    };
+    Ok(RuleCache { ctx_pre, post, counts, target, at_seq: db.seq(), resolved })
 }
 
-/// Full incremental application: refresh the context, then project per the
-/// THEN clause. Returns `(target, fresh_context)`.
-pub fn incremental_apply(
+/// The exact target-pattern edits one delta step performed. The engine
+/// replays them onto the registered copy of the target subdatabase in
+/// O(|edits|) instead of cloning the whole cached target, and their
+/// components are the content delta fed to downstream rules' dirty sets.
+#[derive(Debug, Default)]
+pub struct DeltaOutcome {
+    /// Target patterns added by this step.
+    pub inserted: Vec<ExtPattern>,
+    /// Target patterns removed by this step.
+    pub removed: Vec<ExtPattern>,
+}
+
+impl DeltaOutcome {
+    /// Whether the target changed at all.
+    pub fn changed(&self) -> bool {
+        !self.inserted.is_empty() || !self.removed.is_empty()
+    }
+
+    /// The distinct oids appearing in the edits — the downstream dirty
+    /// contribution of this step.
+    pub fn components(&self) -> BTreeSet<Oid> {
+        let mut out = BTreeSet::new();
+        for p in self.inserted.iter().chain(&self.removed) {
+            out.extend(p.components().iter().flatten().copied());
+        }
+        out
+    }
+}
+
+/// Whether a pattern has any unbound slot. Only partial patterns can take
+/// part in strict subsumption (`is_part_of` requires a strict pattern-type
+/// subtype, so two fully-bound patterns relate only by equality); scans
+/// that look for subsumers or subsumees stay proportional to the
+/// usually-empty partial subset.
+fn is_partial(p: &ExtPattern) -> bool {
+    p.components().iter().any(|c| c.is_none())
+}
+
+/// Symmetric difference of two pattern sets as (in `next` only, in `prev`
+/// only) — one merge pass over the lexicographic iterators.
+fn sym_diff(prev: &Subdatabase, next: &Subdatabase) -> (Vec<ExtPattern>, Vec<ExtPattern>) {
+    let mut inserted = Vec::new();
+    let mut removed = Vec::new();
+    let mut a = prev.patterns().peekable();
+    let mut b = next.patterns().peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(&x), Some(&y)) => match x.cmp(y) {
+                std::cmp::Ordering::Less => {
+                    removed.push(x.clone());
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    inserted.push(y.clone());
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    a.next();
+                    b.next();
+                }
+            },
+            (Some(&x), None) => {
+                removed.push(x.clone());
+                a.next();
+            }
+            (None, Some(&y)) => {
+                inserted.push(y.clone());
+                b.next();
+            }
+            (None, None) => break,
+        }
+    }
+    (inserted, removed)
+}
+
+/// Apply one delta step **in place**: refresh the cache (context, WHERE
+/// verdicts, derivation counts, and target) given the perspective-closed
+/// dirty set covering every event since `cache.at_seq`, and return the
+/// exact target edits. The whole step is O(dirty-touched patterns), not
+/// O(context): clean patterns are never copied, re-checked, or re-counted.
+/// The caller must ensure `plan_for(rule) != Recompute` and that every
+/// change to the rule's derived sources since `at_seq` is reflected in
+/// `dirty`.
+pub fn delta_apply(
     rule: &Rule,
     db: &Database,
     registry: &SubdbRegistry,
-    old_ctx: &Subdatabase,
+    cache: &mut RuleCache,
     dirty: &BTreeSet<Oid>,
-) -> Result<(Subdatabase, Subdatabase), RuleError> {
-    let ctx = incremental_context(rule, db, registry, old_ctx, dirty)?;
-    let target = project_targets(rule, &ctx, db)?;
-    Ok((target, ctx))
+) -> Result<DeltaOutcome, RuleError> {
+    let plan = plan_for(rule);
+    debug_assert!(plan != MaintainPlan::Recompute, "caller must gate on supports_incremental");
+    let mut sp = obs::trace::span("rules.rule");
+    sp.label(|| rule.name.clone());
+    sp.attr("delta", 1);
+    if obs::metrics_enabled() {
+        obs::metrics::counter("rules.rule.delta_applications").inc();
+    }
+    // 1. Drop dirty-bound cached patterns; expand the re-binding set with
+    //    every component of a dropped pattern. A shorter pattern
+    //    resurfacing because its subsumer died has all its components
+    //    inside that subsumer, so the expansion guarantees it is
+    //    re-derived. The same pass collects the retained *partial*
+    //    patterns: only those can take part in strict subsumption (two
+    //    fully-bound patterns of one intension relate only by equality),
+    //    so the merge below scans this usually-empty list instead of the
+    //    whole context.
+    let mut rebind: BTreeSet<Oid> = dirty.clone();
+    let mut dropped: Vec<ExtPattern> = Vec::new();
+    let mut partials: Vec<ExtPattern> = Vec::new();
+    if cache.ctx_pre.intension.width() == 2
+        && cache.resolved.spans.as_slice() == [(0usize, 2usize)]
+    {
+        // Binary single-span contexts (the paper's common association-pair
+        // shape) hold only fully-bound rows, so the access index's counted
+        // (0,1) adjacency *is* the pattern set: walk the dirty oids'
+        // neighbor lists — O(|dirty| + |dropped|) — instead of scanning
+        // the whole context. Partial rows cannot exist here, so `partials`
+        // stays empty.
+        if let Some((adj, _)) = cache.ctx_pre.index().pair_adj(0, 1) {
+            for &o in dirty {
+                for &n in adj.neighbors(o, true) {
+                    dropped.push(ExtPattern::new(vec![Some(o), Some(n)]));
+                }
+                for &n in adj.neighbors(o, false) {
+                    // A pattern with both ends dirty was already collected
+                    // from the dirty slot-0 end above.
+                    if !dirty.contains(&n) {
+                        dropped.push(ExtPattern::new(vec![Some(n), Some(o)]));
+                    }
+                }
+            }
+        }
+        for p in &dropped {
+            rebind.extend(p.components().iter().flatten().copied());
+        }
+    } else {
+        let dirty_hash: FxHashSet<Oid> = dirty.iter().copied().collect();
+        let is_dirty =
+            |p: &ExtPattern| p.components().iter().flatten().any(|o| dirty_hash.contains(o));
+        for p in cache.ctx_pre.patterns() {
+            if is_dirty(p) {
+                rebind.extend(p.components().iter().flatten().copied());
+                dropped.push(p.clone());
+            } else if is_partial(p) {
+                partials.push(p.clone());
+            }
+        }
+    }
+    for p in &dropped {
+        cache.ctx_pre.remove(p);
+    }
+
+    // 2. Semi-naive delta: every valid pattern with a delta-bound slot,
+    //    merged into the retained context under subsumption. A delta row
+    //    equal to (or part of) a retained clean pattern is redundant; a
+    //    retained pattern that a delta row strictly covers is dropped.
+    let mut ev = Evaluator::new(&cache.resolved, db, registry).map_err(RuleError::Query)?;
+    let delta = ev.eval_delta(&cache.ctx_pre.name, &rebind);
+    let mut added: Vec<ExtPattern> = Vec::new();
+    for r in &delta {
+        if cache.ctx_pre.contains(r) {
+            continue;
+        }
+        let r_partial = is_partial(r);
+        // A partial row may hide under *any* retained pattern (full scan;
+        // only brace contexts produce partial rows). A full row cannot be
+        // a strict part of anything.
+        if r_partial && cache.ctx_pre.patterns().any(|q| r.is_part_of(q)) {
+            continue;
+        }
+        // Retained patterns strictly covered by `r` are necessarily
+        // partial, so only the partial list is scanned.
+        let shadowed: Vec<ExtPattern> =
+            partials.iter().filter(|q| q.is_part_of(r)).cloned().collect();
+        for q in shadowed {
+            cache.ctx_pre.remove(&q);
+            if let Some(i) = partials.iter().position(|a| *a == q) {
+                partials.swap_remove(i);
+            }
+            if let Some(i) = added.iter().position(|a| *a == q) {
+                added.swap_remove(i);
+            } else {
+                dropped.push(q);
+            }
+        }
+        cache.ctx_pre.insert(r.clone());
+        if r_partial {
+            partials.push(r.clone());
+        }
+        added.push(r.clone());
+    }
+
+    // 3. WHERE prefix: clean patterns keep their cached verdict (their
+    //    attributes are untouched); only the added rows are checked.
+    let (prefix, suffix) = split_where(&rule.where_);
+    let mut removed_post: Vec<ExtPattern> = Vec::new();
+    for p in &dropped {
+        if cache.post.remove(p) {
+            removed_post.push(p.clone());
+        }
+    }
+    let mut added_post: Vec<ExtPattern> = Vec::new();
+    if !added.is_empty() {
+        if prefix.is_empty() {
+            // No prefix conditions: every added row passes.
+            for p in &added {
+                cache.post.insert(p.clone());
+                added_post.push(p.clone());
+            }
+        } else {
+            let mut check =
+                Subdatabase::new(cache.post.name.clone(), cache.post.intension.clone());
+            for p in &added {
+                check.insert(p.clone());
+            }
+            apply_where(&mut check, prefix, db).map_err(RuleError::Query)?;
+            for p in check.patterns() {
+                cache.post.insert(p.clone());
+                added_post.push(p.clone());
+            }
+        }
+    }
+
+    // 4. Target.
+    let out = match plan {
+        MaintainPlan::DeltaLocal => {
+            delta_local_target(rule, cache, &removed_post, &added_post)?
+        }
+        MaintainPlan::DeltaReWhere => {
+            // Aggregate verdicts can flip without any post-set change (an
+            // attribute update inside a group), so the suffix and the
+            // projection always re-run over the refreshed set.
+            let mut full = cache.post.clone();
+            apply_where(&mut full, suffix, db).map_err(RuleError::Query)?;
+            let next = project_targets(rule, &full, db)?;
+            let (inserted, removed) = sym_diff(&cache.target, &next);
+            cache.target = next;
+            DeltaOutcome { inserted, removed }
+        }
+        MaintainPlan::Recompute => unreachable!("gated above"),
+    };
+    cache.at_seq = db.seq();
+    sp.attr("ctx_rows", cache.post.len() as i64);
+    sp.attr("target_rows", cache.target.len() as i64);
+    Ok(out)
+}
+
+/// Count-maintained target update for [`MaintainPlan::DeltaLocal`]: adjust
+/// derivation counts by the post-set edits, then patch the target — which
+/// always holds exactly the maximal elements of the live count keys — by
+/// the keys whose count crossed zero. Births run before deaths so a
+/// death's resurrection scan sees the final cover.
+fn delta_local_target(
+    rule: &Rule,
+    cache: &mut RuleCache,
+    removed_post: &[ExtPattern],
+    added_post: &[ExtPattern],
+) -> Result<DeltaOutcome, RuleError> {
+    let slots = target_slots(rule, &cache.post.intension)?;
+    let mut dead: Vec<ExtPattern> = Vec::new();
+    let mut born: Vec<ExtPattern> = Vec::new();
+    for p in removed_post {
+        let key = p.project(&slots);
+        if key.pattern_type().arity() == 0 {
+            continue;
+        }
+        if let Some(c) = cache.counts.get_mut(&key) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                cache.counts.remove(&key);
+                dead.push(key);
+            }
+        }
+    }
+    for p in added_post {
+        let key = p.project(&slots);
+        if key.pattern_type().arity() == 0 {
+            continue;
+        }
+        let c = cache.counts.entry(key.clone()).or_insert(0);
+        *c += 1;
+        if *c == 1 {
+            // A key that died and was re-born in the same step nets out.
+            if let Some(i) = dead.iter().position(|d| *d == key) {
+                dead.swap_remove(i);
+            } else {
+                born.push(key);
+            }
+        }
+    }
+    let mut out = DeltaOutcome::default();
+    if born.is_empty() && dead.is_empty() {
+        return Ok(out);
+    }
+    // Subsumption involves partial patterns only, so the eviction and
+    // resurrection scans walk these (usually empty) lists, not the whole
+    // target or count table.
+    let mut target_partials: Vec<ExtPattern> =
+        cache.target.patterns().filter(|p| is_partial(p)).cloned().collect();
+    for key in born {
+        // Covered (or already present) keys stay implicit; an uncovered
+        // key evicts the target members it strictly covers.
+        if cache.target.contains(&key) {
+            continue;
+        }
+        let key_partial = is_partial(&key);
+        if key_partial && cache.target.patterns().any(|q| key.is_part_of(q)) {
+            continue;
+        }
+        let shadowed: Vec<ExtPattern> =
+            target_partials.iter().filter(|q| q.is_part_of(&key)).cloned().collect();
+        for q in shadowed {
+            cache.target.remove(&q);
+            if let Some(i) = target_partials.iter().position(|a| *a == q) {
+                target_partials.swap_remove(i);
+            }
+            out.removed.push(q);
+        }
+        cache.target.insert(key.clone());
+        if key_partial {
+            target_partials.push(key.clone());
+        }
+        out.inserted.push(key);
+    }
+    if dead.is_empty() {
+        return Ok(out);
+    }
+    // Resurrection candidates are strictly part of a dead key, hence
+    // partial.
+    let count_partials: Vec<ExtPattern> =
+        cache.counts.keys().filter(|k| is_partial(k)).cloned().collect();
+    for key in dead {
+        if !cache.target.remove(&key) {
+            continue; // was covered by a live key: nothing visible changed
+        }
+        if let Some(i) = target_partials.iter().position(|a| *a == key) {
+            target_partials.swap_remove(i);
+        }
+        out.removed.push(key.clone());
+        // Resurrect the maximal live keys the dead pattern was covering.
+        let cands: Vec<&ExtPattern> = count_partials
+            .iter()
+            .filter(|k| {
+                k.is_part_of(&key)
+                    && cache.counts.contains_key(*k)
+                    && !cache.target.contains(k)
+                    && !cache.target.patterns().any(|q| k.is_part_of(q))
+            })
+            .collect();
+        for k in &cands {
+            if cands.iter().any(|d| k.is_part_of(d)) {
+                continue;
+            }
+            cache.target.insert((*k).clone());
+            if is_partial(k) {
+                target_partials.push((*k).clone());
+            }
+            out.inserted.push((*k).clone());
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::derive::eval_rule_context;
+    use crate::derive::apply_rule;
     use crate::parser::parse_rule;
     use dood_core::schema::SchemaBuilder;
-    use dood_core::value::DType;
+    use dood_core::value::{DType, Value};
 
     fn setup() -> (Database, Vec<Oid>, Vec<Oid>) {
         let mut b = SchemaBuilder::new();
@@ -137,71 +551,132 @@ mod tests {
         let avec: Vec<Oid> = (0..5).map(|_| db.new_object(a_cls).unwrap()).collect();
         let bvec: Vec<Oid> = (0..5).map(|_| db.new_object(b_cls).unwrap()).collect();
         for i in 0..5 {
+            db.set_attr(avec[i], "v", Value::Int(i as i64)).unwrap();
             db.associate(link, avec[i], bvec[i]).unwrap();
         }
         (db, avec, bvec)
     }
 
-    #[test]
-    fn gate_rejects_closure_braces_aggregates() {
-        assert!(supports_incremental(
-            &parse_rule("r", "if context A * B then T (A, B)").unwrap()
-        ));
-        assert!(supports_incremental(
-            &parse_rule("r", "if context A * B where A.v > 1 then T (A)").unwrap()
-        ));
-        assert!(!supports_incremental(
-            &parse_rule("r", "if context A ^* then T (A, A_*)").unwrap()
-        ));
-        assert!(!supports_incremental(
-            &parse_rule("r", "if context {A} * B then T (A)").unwrap()
-        ));
-        assert!(!supports_incremental(
-            &parse_rule(
-                "r",
-                "if context A * B where count(B by A) > 1 then T (A)"
-            )
-            .unwrap()
-        ));
+    fn dirty_since(db: &Database, mark: u64) -> BTreeSet<Oid> {
+        dirty_closure(db, db.events().since(mark).iter().flat_map(|e| e.touched_oids()))
     }
 
     #[test]
-    fn incremental_matches_full_after_updates() {
-        let (mut db, avec, bvec) = setup();
-        let rule = parse_rule("r", "if context A * B then T (A, B)").unwrap();
-        let reg = SubdbRegistry::new();
-        let old_ctx = eval_rule_context(&rule, &db, &reg).unwrap();
+    fn plans_cover_the_rule_space() {
+        let plan = |src: &str| plan_for(&parse_rule("r", src).unwrap());
+        assert_eq!(plan("if context A * B then T (A, B)"), MaintainPlan::DeltaLocal);
+        assert_eq!(
+            plan("if context A * B where A.v > 1 then T (A)"),
+            MaintainPlan::DeltaLocal
+        );
+        // Braces are delta-maintainable now (eval_delta spans every span).
+        assert_eq!(plan("if context {A} * B then T (A)"), MaintainPlan::DeltaLocal);
+        assert_eq!(
+            plan("if context A * B where count(B by A) > 1 then T (A)"),
+            MaintainPlan::DeltaReWhere
+        );
+        // Only closure contexts (and families) recompute.
+        assert_eq!(plan("if context A ^* then T (A, A_*)"), MaintainPlan::Recompute);
+        assert!(!supports_incremental(&parse_rule("r", "if context A ^* then T (A, A_*)").unwrap()));
+        assert!(supports_incremental(&parse_rule("r", "if context {A} * B then T (A)").unwrap()));
+    }
 
-        // Mutate: add a cross link, remove one, create a fresh pair.
-        let a_cls = db.schema().class_by_name("A").unwrap();
-        let b_cls = db.schema().class_by_name("B").unwrap();
-        let link = db.schema().own_link_by_name(a_cls, "B").unwrap();
-        let mark = db.seq();
-        db.associate(link, avec[0], bvec[1]).unwrap();
-        db.dissociate(link, avec[2], bvec[2]).unwrap();
-        let na = db.new_object(a_cls).unwrap();
-        let nb = db.new_object(b_cls).unwrap();
-        db.associate(link, na, nb).unwrap();
+    /// delta_apply after a mixed batch (associate, dissociate, create,
+    /// attribute flip) reproduces the from-scratch derivation exactly —
+    /// for plain, braced, filtered, and aggregate rules.
+    #[test]
+    fn delta_matches_full_after_updates() {
+        for src in [
+            "if context A * B then T (A, B)",
+            "if context {A} * B then T (A, B)",
+            "if context A [v >= 2] * B then T (A)",
+            "if context A * B where A.v >= 1 then T (A, B)",
+            "if context A * B where count(B by A) > 1 then T (A)",
+        ] {
+            let (mut db, avec, bvec) = setup();
+            let rule = parse_rule("r", src).unwrap();
+            let reg = SubdbRegistry::new();
+            let mut cache = seed_cache(&rule, &db, &reg).unwrap();
+            let mut mirror = cache.target.clone();
 
-        let mut touched = Vec::new();
-        for e in db.events().since(mark) {
-            match e {
-                dood_store::UpdateEvent::Associated { from, to, .. }
-                | dood_store::UpdateEvent::Dissociated { from, to, .. } => {
-                    touched.push(*from);
-                    touched.push(*to);
-                }
-                dood_store::UpdateEvent::ObjectCreated { oid, .. } => touched.push(*oid),
-                _ => {}
+            let a_cls = db.schema().class_by_name("A").unwrap();
+            let b_cls = db.schema().class_by_name("B").unwrap();
+            let link = db.schema().own_link_by_name(a_cls, "B").unwrap();
+            let mark = db.seq();
+            db.associate(link, avec[0], bvec[1]).unwrap();
+            db.dissociate(link, avec[2], bvec[2]).unwrap();
+            db.set_attr(avec[3], "v", Value::Int(99)).unwrap();
+            let na = db.new_object(a_cls).unwrap();
+            let nb = db.new_object(b_cls).unwrap();
+            db.associate(link, na, nb).unwrap();
+
+            let out = delta_apply(&rule, &db, &reg, &mut cache, &dirty_since(&db, mark)).unwrap();
+            let full = apply_rule(&rule, &db, &reg).unwrap();
+            assert_eq!(cache.target.to_vec(), full.to_vec(), "target diverged for `{src}`");
+            // Replaying the reported edits reproduces the new target.
+            for p in &out.removed {
+                assert!(mirror.remove(p), "removed edit not present for `{src}`");
             }
+            for p in &out.inserted {
+                mirror.insert(p.clone());
+            }
+            assert_eq!(mirror.to_vec(), full.to_vec(), "edits diverged for `{src}`");
+            // The refreshed cache is itself a valid base for another step.
+            let mark = db.seq();
+            db.dissociate(link, avec[0], bvec[0]).unwrap();
+            delta_apply(&rule, &db, &reg, &mut cache, &dirty_since(&db, mark)).unwrap();
+            let full2 = apply_rule(&rule, &db, &reg).unwrap();
+            assert_eq!(cache.target.to_vec(), full2.to_vec(), "second step diverged for `{src}`");
         }
-        let dirty = dirty_closure(&db, touched);
-        let (inc_target, inc_ctx) =
-            incremental_apply(&rule, &db, &reg, &old_ctx, &dirty).unwrap();
-        let full_ctx = eval_rule_context(&rule, &db, &reg).unwrap();
-        let full_target = crate::derive::apply_rule(&rule, &db, &reg).unwrap();
-        assert_eq!(inc_ctx.to_vec(), full_ctx.to_vec());
-        assert_eq!(inc_target.to_vec(), full_target.to_vec());
+    }
+
+    /// Deleting an object must remove every pattern referencing it and must
+    /// not resurrect patterns through the deleted object's former
+    /// neighbours (the `dirty_closure`-keeps-deleted-oids regression).
+    #[test]
+    fn delete_then_delta_does_not_resurrect() {
+        let (mut db, avec, _bvec) = setup();
+        let rule = parse_rule("r", "if context {A} * B then T (A, B)").unwrap();
+        let reg = SubdbRegistry::new();
+        let mut cache = seed_cache(&rule, &db, &reg).unwrap();
+        let mark = db.seq();
+        db.delete_object(avec[1]).unwrap();
+        delta_apply(&rule, &db, &reg, &mut cache, &dirty_since(&db, mark)).unwrap();
+        let full = apply_rule(&rule, &db, &reg).unwrap();
+        assert_eq!(cache.target.to_vec(), full.to_vec());
+        assert!(cache
+            .target
+            .patterns()
+            .all(|p| p.components().iter().flatten().all(|&o| o != avec[1])));
+    }
+
+    /// Counting deletion: two context patterns projecting onto the same
+    /// target pattern — removing one keeps the target alive, removing both
+    /// kills it.
+    #[test]
+    fn counting_keeps_multiply_derived_targets() {
+        let (mut db, avec, bvec) = setup();
+        let a_cls = db.schema().class_by_name("A").unwrap();
+        let link = db.schema().own_link_by_name(a_cls, "B").unwrap();
+        // a0 now derives through b0 and b1.
+        db.associate(link, avec[0], bvec[1]).unwrap();
+        let rule = parse_rule("r", "if context A * B then T (A)").unwrap();
+        let reg = SubdbRegistry::new();
+        let mut cache = seed_cache(&rule, &db, &reg).unwrap();
+        assert!(cache.target.patterns().any(|p| p.get(0) == Some(avec[0])));
+
+        let mark = db.seq();
+        db.dissociate(link, avec[0], bvec[0]).unwrap();
+        let one = delta_apply(&rule, &db, &reg, &mut cache, &dirty_since(&db, mark)).unwrap();
+        assert!(cache.target.patterns().any(|p| p.get(0) == Some(avec[0])), "count 2→1 kept");
+        assert!(!one.changed(), "count 2→1 is invisible in the target");
+
+        let mark = db.seq();
+        db.dissociate(link, avec[0], bvec[1]).unwrap();
+        let zero = delta_apply(&rule, &db, &reg, &mut cache, &dirty_since(&db, mark)).unwrap();
+        assert!(cache.target.patterns().all(|p| p.get(0) != Some(avec[0])), "count 1→0 dies");
+        assert!(zero.removed.iter().any(|p| p.get(0) == Some(avec[0])));
+        assert_eq!(cache.target.to_vec(), apply_rule(&rule, &db, &reg).unwrap().to_vec());
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub struct Database {
     assoc_ix: Vec<AssocIndex>,
     attr_ix: FxHashMap<(ClassId, AssocId), AttrIndex>,
     log: EventLog,
+    /// Generalization association ids, precomputed from the (immutable)
+    /// schema: the perspective-closure traversal walks exactly these.
+    gen_assocs: Vec<AssocId>,
 }
 
 impl Database {
@@ -49,6 +52,12 @@ impl Database {
         let layouts = AttrLayouts::new(&schema);
         let extents = vec![BTreeSet::new(); schema.class_count()];
         let assoc_ix = vec![AssocIndex::new(); schema.assoc_count()];
+        let gen_assocs = schema
+            .assocs()
+            .iter()
+            .filter(|a| a.is_generalization())
+            .map(|a| a.id)
+            .collect();
         Database {
             schema,
             layouts,
@@ -58,6 +67,7 @@ impl Database {
             assoc_ix,
             attr_ix: FxHashMap::default(),
             log: EventLog::new(),
+            gen_assocs,
         }
     }
 
@@ -445,17 +455,10 @@ impl Database {
     /// rule maintenance: an update to any perspective may affect patterns
     /// observed through another.
     pub fn perspective_closure(&self, oid: Oid) -> Vec<Oid> {
-        let g_assocs: Vec<AssocId> = self
-            .schema
-            .assocs()
-            .iter()
-            .filter(|a| a.is_generalization())
-            .map(|a| a.id)
-            .collect();
         let mut seen = vec![oid];
         let mut frontier = vec![oid];
         while let Some(cur) = frontier.pop() {
-            for &g in &g_assocs {
+            for &g in &self.gen_assocs {
                 for &n in self.assoc_ix[g.index()]
                     .targets(cur)
                     .iter()
@@ -469,6 +472,38 @@ impl Database {
             }
         }
         seen
+    }
+
+    /// The perspective closure of a whole seed set in one breadth-first
+    /// pass — one traversal and one result set for the batch, where
+    /// per-seed [`perspective_closure`](Self::perspective_closure) calls
+    /// would re-visit shared ancestors and re-allocate per seed. Deleted
+    /// seeds have no closure but stay in the result.
+    pub fn perspective_closure_set(
+        &self,
+        seeds: impl IntoIterator<Item = Oid>,
+    ) -> BTreeSet<Oid> {
+        let mut out = BTreeSet::new();
+        let mut frontier: Vec<Oid> = Vec::new();
+        for o in seeds {
+            if out.insert(o) {
+                frontier.push(o);
+            }
+        }
+        while let Some(cur) = frontier.pop() {
+            for &g in &self.gen_assocs {
+                for &n in self.assoc_ix[g.index()]
+                    .targets(cur)
+                    .iter()
+                    .chain(self.assoc_ix[g.index()].sources(cur).iter())
+                {
+                    if out.insert(n) {
+                        frontier.push(n);
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Instance-level traversal of a resolved edge: all Y-instances reached

@@ -47,6 +47,20 @@ impl UpdateEvent {
         }
     }
 
+    /// The object identities this event touches — the seed of the dirty
+    /// set for semi-naive incremental maintenance. Deleted oids are
+    /// included on purpose: cached patterns referencing them must be
+    /// invalidated even though the oid can no longer bind a slot.
+    pub fn touched_oids(&self) -> Vec<Oid> {
+        match self {
+            UpdateEvent::ObjectCreated { oid, .. }
+            | UpdateEvent::ObjectDeleted { oid, .. }
+            | UpdateEvent::AttrSet { oid, .. } => vec![*oid],
+            UpdateEvent::Associated { from, to, .. }
+            | UpdateEvent::Dissociated { from, to, .. } => vec![*from, *to],
+        }
+    }
+
     /// A stable lowercase tag naming the event kind (metric labels).
     pub fn kind(&self) -> &'static str {
         match self {

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Regenerate BENCH_SEED.json: run the full bench suite (E1-E8, E12, E14,
-# and the E15 observability-overhead bench) and concatenate the harness's
-# JSON-lines output into one committed snapshot, so future changes have a
-# performance trajectory to compare against. E15 also prints its
-# disabled-path overhead verdict against the previous snapshot
-# (`DOOD_BENCH_STRICT=1` makes an over-budget verdict fatal).
+# the E15 observability-overhead bench, and the E16 incremental-maintenance
+# bench) and concatenate the harness's JSON-lines output into one committed
+# snapshot, so future changes have a performance trajectory to compare
+# against. E15 prints its disabled-path overhead verdict against the
+# previous snapshot and E16 prints its pre/post maintenance-ratio verdict
+# (`DOOD_BENCH_STRICT=1` makes an over-budget verdict fatal for both).
 #
 # Usage: scripts/bench_snapshot.sh [out-file]
 # Run from anywhere; operates on the workspace containing this script.

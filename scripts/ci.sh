@@ -56,4 +56,16 @@ echo "== ci: observability smoke (bench e15_obs) =="
 DOOD_BENCH_SMOKE=1 DOOD_BENCH_JSON="$SMOKE_JSON" \
     cargo bench -p dood-bench --bench e15_obs
 
+echo "== ci: incremental-maintenance smoke (bench e16_incremental) =="
+# Smoke mode exercises the delta path end to end (timings meaningless, so
+# the ratio check self-skips). Set DOOD_E16_FULL=1 to also run the timed
+# bench with the pre/post ratio gate enforced (DOOD_BENCH_STRICT=1).
+DOOD_BENCH_SMOKE=1 DOOD_BENCH_JSON="$SMOKE_JSON" \
+    cargo bench -p dood-bench --bench e16_incremental
+if [ "${DOOD_E16_FULL:-0}" = "1" ]; then
+    echo "== ci: e16 maintenance-ratio gate (DOOD_BENCH_STRICT=1) =="
+    DOOD_BENCH_STRICT=1 DOOD_BENCH_JSON="$SMOKE_JSON" \
+        cargo bench -p dood-bench --bench e16_incremental
+fi
+
 echo "ci: PASS"

@@ -1,0 +1,367 @@
+//! E16 soundness: semi-naive incremental forward maintenance (DESIGN.md §9)
+//! must be indistinguishable from from-scratch derivation under random
+//! insert / associate / dissociate / attribute-set / delete schedules, on
+//! all three paper schemas, at every thread count — plus regression tests
+//! for the three staleness bugs the maintenance rewrite fixed (silent
+//! forward-reads-backward skips, deleted-oid resurrection, and
+//! `is_consistent` on absent forward results).
+//!
+//! Driven by the in-repo seeded harness (`dood::core::propcheck`); replay
+//! a reported failure with `DOOD_PROP_SEED=<seed> cargo test <name>`.
+
+use dood::core::ids::Oid;
+use dood::core::propcheck::check;
+use dood::core::value::Value;
+use dood::rules::{ChainStrategy, ControlMode, EvalPolicy, RuleEngine};
+use dood::workload::{cad, company, university};
+
+const CASES: usize = 10;
+const THREADS: &[&str] = &["1", "2", "4"];
+
+/// Assert every pre-evaluated subdatabase equals its from-scratch
+/// derivation and passes the engine's own consistency oracle.
+fn assert_fresh(engine: &RuleEngine, subdbs: &[&str]) {
+    for s in subdbs {
+        let current = engine
+            .registry()
+            .subdb(s)
+            .unwrap_or_else(|| panic!("{s} should be materialized"))
+            .to_vec();
+        let fresh = engine.derive_fresh(s).unwrap().to_vec();
+        assert_eq!(current, fresh, "{s} diverged from scratch derivation");
+        assert!(engine.is_consistent(s).unwrap(), "{s} inconsistent");
+    }
+}
+
+/// Company schema: plain join, second-level chaining, comparison WHERE,
+/// and a grouped aggregate — a DeltaLocal / DeltaReWhere mix — under
+/// random link churn, salary flips, hires, and firings.
+#[test]
+fn incremental_equals_fresh_company() {
+    check("incremental_equals_fresh_company", CASES, |g| {
+        let seed = g.range(0u64..100);
+        let ops = g.vec(2..10, |g| (g.range(0u8..6), g.range(0usize..64)));
+        for threads in THREADS {
+            std::env::set_var("DOOD_THREADS", threads);
+            let (db, _) = company::populate(company::CompanySize::small(), seed);
+            let mut e = RuleEngine::new(db);
+            e.add_rule("Ra", "if context Employee * Department then REa (Employee, Department)")
+                .unwrap();
+            e.add_rule("Rb", "if context REa:Employee * Project then REb (Employee, Project)")
+                .unwrap();
+            e.add_rule(
+                "Rc",
+                "if context Employee * Department where Employee.salary >= 100000 \
+                 then WellPaid (Employee)",
+            )
+            .unwrap();
+            e.add_rule(
+                "Rd",
+                "if context Department * Project where count(Project by Department) > 1 \
+                 then Busy (Department)",
+            )
+            .unwrap();
+            let subdbs = ["REa", "REb", "WellPaid", "Busy"];
+            for s in subdbs {
+                e.set_policy(s, EvalPolicy::PreEvaluated);
+            }
+            for s in subdbs {
+                e.subdb(s).unwrap();
+            }
+            for (i, (op, k)) in ops.iter().copied().enumerate() {
+                apply_company_op(&mut e, i, op, k);
+                e.propagate().unwrap();
+                assert_fresh(&e, &subdbs);
+            }
+            std::env::remove_var("DOOD_THREADS");
+        }
+    });
+}
+
+fn apply_company_op(e: &mut RuleEngine, i: usize, op: u8, k: usize) {
+    let db = e.db_mut();
+    let employee = db.schema().class_by_name("Employee").unwrap();
+    let department = db.schema().class_by_name("Department").unwrap();
+    let project = db.schema().class_by_name("Project").unwrap();
+    let works_in = db.schema().own_link_by_name(employee, "WorksIn").unwrap();
+    let assigned = db.schema().own_link_by_name(employee, "AssignedTo").unwrap();
+    let sponsors = db.schema().own_link_by_name(department, "Sponsors").unwrap();
+    let es: Vec<Oid> = db.extent(employee).collect();
+    let ds: Vec<Oid> = db.extent(department).collect();
+    let ps: Vec<Oid> = db.extent(project).collect();
+    match op {
+        0 => {
+            let _ = db.associate(works_in, es[k % es.len()], ds[k % ds.len()]);
+        }
+        1 => {
+            let _ = db.dissociate(works_in, es[k % es.len()], ds[k % ds.len()]);
+        }
+        2 => {
+            let _ = db.associate(sponsors, ds[k % ds.len()], ps[k % ps.len()]);
+        }
+        3 => {
+            // Flip a salary across the WellPaid threshold.
+            let v = if k % 2 == 0 { 250_000 } else { 10_000 };
+            let _ = db.set_attr(es[k % es.len()], "salary", Value::Int(v + i as i64));
+        }
+        4 => {
+            // Hire: a fresh employee wired into every association.
+            let e2 = db.new_object(employee).unwrap();
+            let _ = db.set_attr(e2, "salary", Value::Int(150_000));
+            let _ = db.associate(works_in, e2, ds[k % ds.len()]);
+            let _ = db.associate(assigned, e2, ps[k % ps.len()]);
+        }
+        _ => {
+            // Fire: deletion must not resurrect via stale cache slots.
+            let _ = db.delete_object(es[k % es.len()]);
+        }
+    }
+}
+
+/// University schema (Fig. 2.1): three-way joins, a brace grouping, and a
+/// grouped aggregate over Section counts, under teaching/enrollment churn,
+/// section creation and deletion.
+#[test]
+fn incremental_equals_fresh_university() {
+    check("incremental_equals_fresh_university", CASES, |g| {
+        let seed = g.range(0u64..100);
+        let ops = g.vec(2..10, |g| (g.range(0u8..5), g.range(0usize..64)));
+        for threads in THREADS {
+            std::env::set_var("DOOD_THREADS", threads);
+            let db = university::populate(university::Size::small(), seed);
+            let mut e = RuleEngine::new(db);
+            e.add_rule("Ru1", "if context Teacher * Section * Course then TSC (Teacher, Course)")
+                .unwrap();
+            e.add_rule("Ru2", "if context {Teacher * Section} * Course then TC (Course)")
+                .unwrap();
+            e.add_rule(
+                "Ru3",
+                "if context Course * Section where count(Section by Course) > 1 \
+                 then Popular (Course)",
+            )
+            .unwrap();
+            let subdbs = ["TSC", "TC", "Popular"];
+            for s in subdbs {
+                e.set_policy(s, EvalPolicy::PreEvaluated);
+            }
+            for s in subdbs {
+                e.subdb(s).unwrap();
+            }
+            for (op, k) in ops.iter().copied() {
+                apply_university_op(&mut e, op, k);
+                e.propagate().unwrap();
+                assert_fresh(&e, &subdbs);
+            }
+            std::env::remove_var("DOOD_THREADS");
+        }
+    });
+}
+
+fn apply_university_op(e: &mut RuleEngine, op: u8, k: usize) {
+    let db = e.db_mut();
+    let teacher = db.schema().class_by_name("Teacher").unwrap();
+    let section = db.schema().class_by_name("Section").unwrap();
+    let course = db.schema().class_by_name("Course").unwrap();
+    let teaches = db.schema().own_link_by_name(teacher, "Teaches").unwrap();
+    let section_course = db.schema().own_link_by_name(section, "Course").unwrap();
+    let ts: Vec<Oid> = db.extent(teacher).collect();
+    let ss: Vec<Oid> = db.extent(section).collect();
+    let cs: Vec<Oid> = db.extent(course).collect();
+    match op {
+        0 => {
+            let _ = db.associate(teaches, ts[k % ts.len()], ss[k % ss.len()]);
+        }
+        1 => {
+            let _ = db.dissociate(teaches, ts[k % ts.len()], ss[k % ss.len()]);
+        }
+        2 => {
+            let _ = db.associate(section_course, ss[k % ss.len()], cs[k % cs.len()]);
+        }
+        3 => {
+            // A new section of an existing course, taught immediately.
+            let s2 = db.new_object(section).unwrap();
+            let _ = db.set_attr(s2, "section#", Value::Int(9000 + k as i64));
+            let _ = db.associate(section_course, s2, cs[k % cs.len()]);
+            let _ = db.associate(teaches, ts[k % ts.len()], s2);
+        }
+        _ => {
+            // Cancel a section: aggregate counts must drop with it.
+            let _ = db.delete_object(ss[k % ss.len()]);
+        }
+    }
+}
+
+/// CAD schema: the `Part ^*` BOM closure (the scoped-rederivation fallback
+/// plan) alongside an incremental supplier join, under component rewiring,
+/// part creation and deletion. Component edges are only ever added from a
+/// lower to a higher oid, so the BOM stays acyclic.
+#[test]
+fn incremental_equals_fresh_cad() {
+    check("incremental_equals_fresh_cad", CASES, |g| {
+        let seed = g.range(0u64..100);
+        let ops = g.vec(2..9, |g| (g.range(0u8..5), g.range(0usize..64)));
+        for threads in THREADS {
+            std::env::set_var("DOOD_THREADS", threads);
+            let (db, _) = cad::build_bom(cad::BomShape::small(), seed);
+            let mut e = RuleEngine::new(db);
+            e.add_rule("Rbom", "if context Part ^* then Bom (Part, Part_*)").unwrap();
+            e.add_rule("Rsp", "if context Supplier * Part then SP (Supplier, Part)").unwrap();
+            let subdbs = ["Bom", "SP"];
+            for s in subdbs {
+                e.set_policy(s, EvalPolicy::PreEvaluated);
+            }
+            for s in subdbs {
+                e.subdb(s).unwrap();
+            }
+            for (op, k) in ops.iter().copied() {
+                apply_cad_op(&mut e, op, k);
+                e.propagate().unwrap();
+                assert_fresh(&e, &subdbs);
+            }
+            std::env::remove_var("DOOD_THREADS");
+        }
+    });
+}
+
+fn apply_cad_op(e: &mut RuleEngine, op: u8, k: usize) {
+    let db = e.db_mut();
+    let part = db.schema().class_by_name("Part").unwrap();
+    let supplier = db.schema().class_by_name("Supplier").unwrap();
+    let component = db.schema().own_link_by_name(part, "Component").unwrap();
+    let supplies = db.schema().own_link_by_name(supplier, "Supplies").unwrap();
+    let parts: Vec<Oid> = db.extent(part).collect();
+    let sups: Vec<Oid> = db.extent(supplier).collect();
+    match op {
+        0 => {
+            // Acyclic by construction: lower oid → higher oid only.
+            let (a, b) = (parts[k % parts.len()], parts[(k / 2) % parts.len()]);
+            let (lo, hi) = if a.raw() < b.raw() { (a, b) } else { (b, a) };
+            if lo != hi {
+                let _ = db.associate(component, lo, hi);
+            }
+        }
+        1 => {
+            let (a, b) = (parts[k % parts.len()], parts[(k / 2) % parts.len()]);
+            let _ = db.dissociate(component, a, b);
+        }
+        2 => {
+            // A supplier (created on demand) supplying an existing part.
+            let s = if sups.is_empty() || k % 3 == 0 {
+                let s = db.new_object(supplier).unwrap();
+                let _ = db.set_attr(s, "sname", Value::str(format!("sup-{k}")));
+                s
+            } else {
+                sups[k % sups.len()]
+            };
+            let _ = db.associate(supplies, s, parts[k % parts.len()]);
+        }
+        3 => {
+            // A new part attached under an existing assembly.
+            let p2 = db.new_object(part).unwrap();
+            let _ = db.set_attr(p2, "cost", Value::Real(k as f64));
+            let _ = db.associate(component, parts[k % parts.len()], p2);
+        }
+        _ => {
+            // Scrap a part: closure chains through it must vanish.
+            let _ = db.delete_object(parts[k % parts.len()]);
+        }
+    }
+}
+
+/// Regression (engine level): deleting an object and propagating must not
+/// resurrect cached patterns whose other slots referenced it, and a
+/// follow-up delta step over the post-deletion cache stays sound.
+#[test]
+fn deleted_oid_never_resurrects_through_the_cache() {
+    let (db, com) = company::populate(company::CompanySize::small(), 3);
+    let mut e = RuleEngine::new(db);
+    e.add_rule("Ra", "if context Employee * Department then REa (Employee, Department)")
+        .unwrap();
+    e.add_rule("Rb", "if context REa:Employee * Project then REb (Employee, Project)")
+        .unwrap();
+    e.set_policy("REa", EvalPolicy::PreEvaluated);
+    e.set_policy("REb", EvalPolicy::PreEvaluated);
+    e.query("context REb:Employee").unwrap();
+
+    let victim = com.employees[0];
+    assert!(
+        e.registry()
+            .subdb("REa")
+            .unwrap()
+            .patterns()
+            .any(|p| p.components().contains(&Some(victim))),
+        "victim should appear in REa before deletion"
+    );
+    e.db_mut().delete_object(victim).unwrap();
+    e.propagate().unwrap();
+    for s in ["REa", "REb"] {
+        let sd = e.registry().subdb(s).unwrap();
+        assert!(
+            sd.patterns().all(|p| !p.components().contains(&Some(victim))),
+            "{s} resurrected the deleted oid"
+        );
+        assert_eq!(sd.to_vec(), e.derive_fresh(s).unwrap().to_vec());
+    }
+    // A second delta step over the post-deletion cache must stay sound.
+    e.db_mut().set_attr(com.employees[1], "salary", Value::Int(42)).unwrap();
+    e.propagate().unwrap();
+    assert_fresh(&e, &["REa", "REb"]);
+}
+
+/// Regression (satellite): under rule-oriented control, a forward rule
+/// whose source is backward-derived can never run — the skip is now
+/// recorded in `stale_skips`, surfaced by the `is_consistent` oracle, and
+/// flagged ahead of time by the W105 strategy lint.
+#[test]
+fn forward_reads_backward_source_is_reported() {
+    let (db, com) = company::populate(company::CompanySize::small(), 7);
+    let mut e = RuleEngine::new(db);
+    e.set_mode(ControlMode::RuleOriented);
+    e.add_rule("Ra", "if context Employee * Department then REa (Employee, Department)")
+        .unwrap();
+    e.add_rule("Rb", "if context REa:Employee * Project then REb (Employee, Project)")
+        .unwrap();
+    e.set_strategy("Ra", ChainStrategy::Backward);
+    e.set_strategy("Rb", ChainStrategy::Forward);
+
+    // The lint sees the hazard statically, before any update arrives.
+    let diags = e.strategy_diagnostics();
+    assert!(
+        diags.iter().any(|d| d.code == "W105" && d.message.contains("REa")),
+        "expected a W105 diagnostic, got {diags:?}"
+    );
+
+    e.db_mut().set_attr(com.employees[0], "salary", Value::Int(1)).unwrap();
+    let rederived = e.propagate().unwrap();
+    assert!(!rederived.contains(&"REb".to_string()));
+    assert_eq!(e.stale_skips(), ["REb".to_string()]);
+    // The skipped target is stale, and the oracle says so.
+    assert!(!e.is_consistent("REb").unwrap());
+}
+
+/// Regression (satellite): `is_consistent` distinguishes "absent because
+/// it is computed on demand" (fine) from "absent although the rule-oriented
+/// forward strategy promises it is always kept available" (stale).
+#[test]
+fn absent_forward_subdb_is_stale_absent_backward_is_fine() {
+    let (db, _) = company::populate(company::CompanySize::small(), 11);
+    let mut e = RuleEngine::new(db);
+    e.add_rule("Ra", "if context Employee * Department then REa (Employee, Department)")
+        .unwrap();
+
+    // Result-oriented control: absence is never staleness.
+    assert!(e.is_consistent("REa").unwrap());
+
+    // Rule-oriented + backward: computed on demand, absence is fine.
+    e.set_mode(ControlMode::RuleOriented);
+    e.set_strategy("Ra", ChainStrategy::Backward);
+    assert!(e.is_consistent("REa").unwrap());
+
+    // Rule-oriented + forward: the copy should exist — absence is stale.
+    e.set_strategy("Ra", ChainStrategy::Forward);
+    assert!(!e.is_consistent("REa").unwrap());
+
+    // Once materialized, consistency is judged on content again.
+    e.subdb("REa").unwrap();
+    assert!(e.is_consistent("REa").unwrap());
+}
