@@ -1,0 +1,171 @@
+//! E17 — compiled join pipelines (DESIGN.md §10): the fused plan
+//! interpreter against the legacy AST-walking evaluator on the E1
+//! (association chain), E6 (braced retention) and E7 (four-way aggregate
+//! feed) context shapes, plus the cost-based planner against the two
+//! forced join orders it replaced on the skewed E9 chain.
+//!
+//! Afterwards reads back this run's medians and prints two verdicts:
+//!
+//! * **compile speedup** — compiled must be ≥ 1.3× faster than the
+//!   interpreter on at least 2 of the 3 shapes;
+//! * **plan quality** — the cost-based order may cost at most 1.2× the
+//!   best forced order (min-extent / leftmost).
+//!
+//! Prints `PASS`/`WARN`; exits nonzero on a miss only under
+//! `DOOD_BENCH_STRICT=1` (shared hosts are noisy, so the hard gate is
+//! opt-in for `scripts/ci.sh` and `scripts/bench_snapshot.sh`).
+
+use dood_bench::harness::{fmt_ns, Harness, Record};
+use dood_core::subdb::SubdbRegistry;
+use dood_oql::parser::Parser;
+use dood_oql::resolve::resolve_context;
+use dood_oql::{Evaluator, ExecMode, PlannerMode};
+use dood_store::Database;
+use dood_workload::university;
+use std::path::PathBuf;
+
+/// Population scale for the context-shape comparison.
+const FACTOR: usize = 8;
+
+/// Required compiled-over-interpreted speedup, on ≥ 2 of the 3 shapes.
+const SPEEDUP_BAR: f64 = 1.3;
+
+/// Allowed cost-based overhead over the best forced join order.
+const PLAN_BUDGET: f64 = 1.2;
+
+/// The three measured context shapes (E1, E6, E7).
+const SHAPES: &[(&str, &str)] = &[
+    ("e1", "Teacher * Section * Course"),
+    ("e6", "{Teacher * Section} * Course"),
+    ("e7", "Department * Course * Section * Student"),
+];
+
+/// The E9 skewed chain: a selective predicate at the far end rewards
+/// anchoring away from the populous leftmost class.
+const SKEWED: &str = "Student * Section * Course * Department [name = 'CIS']";
+
+/// A ready-to-run evaluator: compile once, execute many times — the
+/// steady-state shape of the engine, where `RuleCache` keeps the compiled
+/// plan across delta evaluations.
+fn evaluator<'a>(
+    db: &'a Database,
+    resolved: &'a dood_oql::resolve::ResolvedContext,
+    reg: &'a SubdbRegistry,
+    exec: ExecMode,
+    mode: PlannerMode,
+) -> Evaluator<'a> {
+    Evaluator::new(resolved, db, reg).unwrap().with_planner(mode).with_exec(exec)
+}
+
+fn main() {
+    let mut h = Harness::new("e17_compile");
+    let db = university::populate(university::Size::scaled(FACTOR), 42);
+    let reg = SubdbRegistry::new();
+
+    for (name, query) in SHAPES {
+        let expr = Parser::parse_context_expr(query).unwrap();
+        let resolved = resolve_context(&expr, db.schema(), &reg).unwrap();
+        let compiled = evaluator(&db, &resolved, &reg, ExecMode::Compiled, PlannerMode::CostBased);
+        let interp = evaluator(&db, &resolved, &reg, ExecMode::Interp, PlannerMode::CostBased);
+        assert_eq!(
+            compiled.eval("x").to_vec(),
+            interp.eval("x").to_vec(),
+            "{name}: compiled and interpreted must agree"
+        );
+        h.bench(&format!("compiled/{name}"), || compiled.eval("x").len());
+        h.bench(&format!("interp/{name}"), || interp.eval("x").len());
+    }
+
+    let expr = Parser::parse_context_expr(SKEWED).unwrap();
+    let resolved = resolve_context(&expr, db.schema(), &reg).unwrap();
+    for (name, mode) in [
+        ("cost", PlannerMode::CostBased),
+        ("minextent", PlannerMode::MinExtent),
+        ("leftmost", PlannerMode::Leftmost),
+    ] {
+        let ev = evaluator(&db, &resolved, &reg, ExecMode::Compiled, mode);
+        h.bench(&format!("planner/{name}"), || ev.eval("x").len());
+    }
+
+    h.finish();
+    check_verdicts();
+}
+
+/// Read back this run's records and print the speedup and plan-quality
+/// verdicts.
+fn check_verdicts() {
+    if std::env::var("DOOD_BENCH_SMOKE").is_ok_and(|v| v == "1") {
+        println!("# e17 verdicts skipped (smoke mode: timings are not meaningful)");
+        return;
+    }
+    let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_default();
+    let own_path = match std::env::var_os("DOOD_BENCH_JSON") {
+        Some(dir) => PathBuf::from(dir).join("BENCH_e17_compile.json"),
+        None => workspace.join("target/bench-json/BENCH_e17_compile.json"),
+    };
+    let med = |bench: &str| median_of(&own_path, "e17_compile", bench);
+    let mut strict_fail = false;
+
+    // Compile speedup: ≥ SPEEDUP_BAR on ≥ 2 of the 3 shapes.
+    let mut fast = 0usize;
+    let mut seen = 0usize;
+    for (name, _) in SHAPES {
+        let (Some(c), Some(i)) = (med(&format!("compiled/{name}")), med(&format!("interp/{name}")))
+        else {
+            continue;
+        };
+        seen += 1;
+        let speedup = i / c;
+        println!(
+            "# e17 {name}: compiled {} vs interp {} ({speedup:.2}x)",
+            fmt_ns(c),
+            fmt_ns(i)
+        );
+        if speedup >= SPEEDUP_BAR {
+            fast += 1;
+        }
+    }
+    if seen == SHAPES.len() {
+        let verdict = if fast >= 2 { "PASS" } else { "WARN" };
+        println!(
+            "# e17 compile speedup: {verdict} — {fast}/{seen} shapes ≥ {SPEEDUP_BAR}x"
+        );
+        strict_fail |= verdict == "WARN";
+    } else {
+        println!("# e17 compile speedup check skipped (missing records in {})", own_path.display());
+    }
+
+    // Plan quality: cost-based within PLAN_BUDGET of the best forced order.
+    match (med("planner/cost"), med("planner/minextent"), med("planner/leftmost")) {
+        (Some(cost), Some(minext), Some(left)) => {
+            let best = minext.min(left);
+            let ratio = cost / best;
+            let verdict = if ratio <= PLAN_BUDGET { "PASS" } else { "WARN" };
+            println!(
+                "# e17 plan quality: {verdict} — cost-based {} vs best forced {} ({ratio:.2}x, budget {PLAN_BUDGET:.1}x)",
+                fmt_ns(cost),
+                fmt_ns(best)
+            );
+            strict_fail |= verdict == "WARN";
+        }
+        _ => println!("# e17 plan quality check skipped (missing planner records in {})", own_path.display()),
+    }
+
+    if strict_fail && std::env::var("DOOD_BENCH_STRICT").is_ok_and(|v| v == "1") {
+        eprintln!("# e17: verdict missed under DOOD_BENCH_STRICT=1");
+        std::process::exit(1);
+    }
+}
+
+/// The first `group`/`bench` record's median in a JSON-lines bench file.
+fn median_of(path: &PathBuf, group: &str, bench: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines()
+        .filter_map(Record::from_json_line)
+        .find(|r| r.group == group && r.bench == bench)
+        .map(|r| r.median_ns)
+}

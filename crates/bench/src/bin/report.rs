@@ -23,7 +23,6 @@ use dood_bench::harness::{fmt_ns, Record};
 use dood_bench::*;
 use dood_rules::{ControlMode, EvalPolicy};
 use dood_workload::university;
-use std::time::Instant;
 
 /// Render bench-harness JSON-lines files as grouped markdown tables.
 /// Returns an error line count (unparseable lines / unreadable files).
@@ -76,19 +75,6 @@ fn report_from_json(paths: &[String]) -> usize {
     }
     println!("\n{} records.", records.len());
     errors
-}
-
-/// Median wall-clock time of `runs` executions, in microseconds.
-fn time_us<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
-    let mut samples: Vec<f64> = (0..runs)
-        .map(|_| {
-            let t = Instant::now();
-            std::hint::black_box(f());
-            t.elapsed().as_secs_f64() * 1e6
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
 }
 
 fn header(title: &str) {

@@ -296,6 +296,21 @@ pub fn assoc_query(db: &Database, registry: &SubdbRegistry) -> usize {
         .len()
 }
 
+/// Median wall-clock time of `runs` executions, in microseconds. The
+/// shared timing primitive of the row-printing binaries (`report`,
+/// `ablations`); the bench targets use the [`harness`] instead.
+pub fn time_us<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
 /// Run `f` with `DOOD_THREADS` set to `n`, restoring the prior value after
 /// (the pool reads the variable on every construction).
 pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {

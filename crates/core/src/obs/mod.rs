@@ -14,6 +14,11 @@
 //!   tree (plan node → cardinality attributes → wall time) built from a
 //!   captured span set, rendered by the `doodprof` CLI.
 //!
+//! A fourth piece, [`stats`], is *always on*: a registry of observed
+//! cardinality/selectivity averages that feeds the cost-based join
+//! planner (DESIGN.md §10). It is an engine input, not an export surface,
+//! so it is not gated.
+//!
 //! Everything is **off by default** and costs one relaxed atomic load per
 //! instrumentation site when disabled (verified by bench E15). Enabling:
 //!
@@ -25,6 +30,7 @@
 
 pub mod metrics;
 pub mod profile;
+pub mod stats;
 pub mod trace;
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};

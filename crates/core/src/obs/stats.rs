@@ -1,0 +1,109 @@
+//! `obs::stats` — observed cardinality statistics feeding the cost-based
+//! join planner (DESIGN.md §10).
+//!
+//! A process-global registry of exponentially-weighted moving averages,
+//! keyed by stable strings describing *what* was measured rather than
+//! *where* (e.g. `oql.fan.a3.f` for the forward fan-out of association 3,
+//! `oql.sel.c2.9f31aa04` for the selectivity of one predicate shape on
+//! class 2). Keys describe schema-level quantities, so observations made
+//! by one query improve the plans of every later query touching the same
+//! associations and predicates.
+//!
+//! Unlike [`super::metrics`], this registry is **always on**: it is an
+//! engine input (plan choice), not an export surface. Recording happens
+//! per join *stage* (not per row), so the steady-state cost is one mutex
+//! lock and one hash probe per stage — negligible next to the join itself.
+//! Stats only ever influence which join order is chosen, never which rows
+//! are produced; the equivalence propcheck in `tests/plan.rs` pins that.
+
+use crate::fxhash::FxHashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Smoothing factor: a new observation moves the average 25% of the way.
+/// Heavy smoothing keeps one outlier delta-evaluation (tiny restricted
+/// cardinalities) from wrecking the estimate for full evaluations.
+const ALPHA: f64 = 0.25;
+
+#[derive(Debug, Clone, Copy)]
+struct Stat {
+    ewma: f64,
+    count: u64,
+}
+
+fn registry() -> &'static Mutex<FxHashMap<String, Stat>> {
+    static REG: OnceLock<Mutex<FxHashMap<String, Stat>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(FxHashMap::default()))
+}
+
+/// Fold one observation into `key`'s moving average.
+pub fn observe(key: &str, value: f64) {
+    if !value.is_finite() {
+        return;
+    }
+    let mut reg = registry().lock().unwrap();
+    match reg.get_mut(key) {
+        Some(s) => {
+            s.ewma += ALPHA * (value - s.ewma);
+            s.count += 1;
+        }
+        None => {
+            reg.insert(key.to_string(), Stat { ewma: value, count: 1 });
+        }
+    }
+}
+
+/// The current average for `key`, if any observation has been recorded.
+pub fn get(key: &str) -> Option<f64> {
+    registry().lock().unwrap().get(key).map(|s| s.ewma)
+}
+
+/// Overwrite `key`'s average (tests and ablations; the count resets to 1).
+pub fn set(key: &str, value: f64) {
+    registry().lock().unwrap().insert(key.to_string(), Stat { ewma: value, count: 1 });
+}
+
+/// Drop every recorded statistic (plans fall back to schema-derived
+/// estimates until new observations arrive). Golden-plan tests call this
+/// to make the chosen orders independent of earlier test activity.
+pub fn clear() {
+    registry().lock().unwrap().clear();
+}
+
+/// Every recorded statistic as `(key, average, observations)`, sorted by
+/// key — the readback surface for `doodprof` and the random-stats
+/// propcheck.
+pub fn snapshot() -> Vec<(String, f64, u64)> {
+    let reg = registry().lock().unwrap();
+    let mut out: Vec<(String, f64, u64)> =
+        reg.iter().map(|(k, s)| (k.clone(), s.ewma, s.count)).collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_and_snapshot_reads_back() {
+        let key = "test.stats.ewma_converges";
+        set(key, 10.0);
+        for _ in 0..64 {
+            observe(key, 20.0);
+        }
+        let v = get(key).unwrap();
+        assert!((v - 20.0).abs() < 0.1, "ewma should converge: {v}");
+        let snap = snapshot();
+        let row = snap.iter().find(|(k, _, _)| k == key).unwrap();
+        assert_eq!(row.2, 65);
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let key = "test.stats.non_finite";
+        set(key, 5.0);
+        observe(key, f64::NAN);
+        observe(key, f64::INFINITY);
+        assert_eq!(get(key), Some(5.0));
+    }
+}

@@ -41,6 +41,12 @@ impl SlotAdj {
         m.get(&oid).map_or(&[], |v| v.as_slice())
     }
 
+    /// Number of distinct `(x, y)` co-bindings — the derived edge's "link
+    /// count", used by the cost-based planner's fan-out fallback.
+    pub fn pair_count(&self) -> usize {
+        self.counts.len()
+    }
+
     fn add(&mut self, x: Oid, y: Oid) {
         let c = self.counts.entry((x, y)).or_insert(0);
         *c += 1;

@@ -7,12 +7,13 @@
 
 use crate::ast::{CmpOp, Pred};
 use crate::error::QueryError;
+use crate::plan::{CompileParts, CompiledContext, EdgeInfo, PlanInputs, SpanPlan};
 use crate::resolve::{REdgeKind, RSlot, ResolvedContext};
 use dood_core::error::ResolveError;
 use dood_core::fxhash::FxHashMap;
 use dood_core::ids::Oid;
-use dood_core::schema::ResolvedAttr;
-use dood_core::obs;
+use dood_core::schema::{ResolvedAttr, ResolvedEdge};
+use dood_core::obs::{self, stats};
 use dood_core::subdb::{
     ExtPattern, Intension, SlotAdj, SlotDef, SlotSource, Subdatabase, SubdbIndex, SubdbRegistry,
 };
@@ -20,10 +21,13 @@ use dood_core::value::Value;
 use dood_core::pool::ChunkPool;
 use dood_store::Database;
 use std::collections::BTreeSet;
+use std::sync::Arc;
+
+pub use crate::plan::{ExecMode, PlannerMode};
 
 /// A compiled intra-class predicate: attribute references are resolved.
 #[derive(Debug, Clone)]
-enum CPred {
+pub(crate) enum CPred {
     Cmp { attr: ResolvedAttr, op: CmpOp, value: Value },
     And(Box<CPred>, Box<CPred>),
     Or(Box<CPred>, Box<CPred>),
@@ -95,34 +99,28 @@ enum Members<'a> {
     Fixed(BTreeSet<Oid>),
 }
 
-/// How the evaluator chooses the anchor slot of each span join
-/// (DESIGN.md ablation E9).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum PlannerMode {
-    /// Anchor at the slot with the smallest candidate set (default).
-    #[default]
-    MinExtent,
-    /// Anchor at the leftmost slot (naive left-to-right evaluation).
-    Leftmost,
-}
-
 /// The evaluator for one resolved context expression.
 pub struct Evaluator<'a> {
     ctx: &'a ResolvedContext,
     db: &'a Database,
     planner: PlannerMode,
+    /// Which executor runs span joins (compiled pipeline vs. legacy AST
+    /// walk — the E17 ablation axis).
+    exec: ExecMode,
+    /// The compiled form: predicates, hints, owned edge info, and the
+    /// cost-ordered span plans. Shared (via [`Evaluator::plan_handle`])
+    /// with rule caches so delta steps skip recompilation.
+    plan: Arc<CompiledContext>,
     /// Per slot: the membership constraint (see [`Members`]).
     memberships: Vec<Members<'a>>,
-    /// Per slot: compiled intra-class condition.
-    conds: Vec<Option<CPred>>,
     /// Adjacency for derived edges, keyed by edge index (`usize::MAX` keys
     /// the closure cycle edge): a borrow of the source index's slot-pair
     /// adjacency plus whether the edge's left→right direction is flipped
     /// relative to the stored orientation.
     derived_adj: FxHashMap<usize, (&'a SlotAdj, bool)>,
-    /// Per slot: an index-backed candidate pre-filter (E10): present when
-    /// the slot's condition is a single comparison on a directly-declared
-    /// attribute for which the store has an ordered index.
+    /// Per slot: working copy of the plan's index-backed candidate
+    /// pre-filters (E10); restrictions clear entries without touching the
+    /// shared plan.
     index_scan: Vec<Option<IndexScan>>,
     /// Thread pool for the partitioned span join (DESIGN.md §6).
     pool: ChunkPool,
@@ -130,7 +128,7 @@ pub struct Evaluator<'a> {
 
 /// A pre-resolved index range scan for a slot condition.
 #[derive(Debug, Clone)]
-struct IndexScan {
+pub(crate) struct IndexScan {
     class: dood_core::ids::ClassId,
     attr: dood_core::ids::AssocId,
     op: CmpOp,
@@ -167,64 +165,217 @@ fn index_hint(slot_base: dood_core::ids::ClassId, cond: &CPred, db: &Database) -
     }
 }
 
+/// Bind derived slots and edges to their source subdatabases' access
+/// indexes ([`Subdatabase::index`]). Shared by [`Evaluator::new`] and
+/// [`Evaluator::with_compiled`].
+#[allow(clippy::type_complexity)]
+fn bind_sources<'a>(
+    ctx: &'a ResolvedContext,
+    registry: &'a SubdbRegistry,
+) -> Result<(Vec<Members<'a>>, FxHashMap<usize, (&'a SlotAdj, bool)>), QueryError> {
+    let mut memberships = Vec::with_capacity(ctx.slots.len());
+    for slot in &ctx.slots {
+        match &slot.derived {
+            Some((subdb, slot_name)) => {
+                let entry = registry
+                    .get(subdb)
+                    .ok_or_else(|| QueryError::UnknownSubdb(subdb.clone()))?;
+                let idx = entry.subdb.intension.slot_by_name(slot_name).ok_or_else(
+                    || QueryError::UnknownSubdbClass {
+                        subdb: subdb.clone(),
+                        class: slot_name.clone(),
+                    },
+                )?;
+                memberships.push(Members::Indexed(entry.subdb.index(), idx));
+            }
+            None => memberships.push(Members::Open),
+        }
+    }
+    let mut derived_adj = FxHashMap::default();
+    let edge_adj = |subdb: &String, a: usize, b: usize| -> Result<(&'a SlotAdj, bool), QueryError> {
+        let entry = registry
+            .get(subdb)
+            .ok_or_else(|| QueryError::UnknownSubdb(subdb.clone()))?;
+        Ok(entry
+            .subdb
+            .index()
+            .pair_adj(a, b)
+            .expect("resolved derived edge joins two distinct slots"))
+    };
+    for (i, e) in ctx.edges.iter().enumerate() {
+        if let REdgeKind::Derived { subdb, a, b } = &e.kind {
+            derived_adj.insert(i, edge_adj(subdb, *a, *b)?);
+        }
+    }
+    if let Some((_, REdgeKind::Derived { subdb, a, b })) = &ctx.closure {
+        derived_adj.insert(usize::MAX, edge_adj(subdb, *a, *b)?);
+    }
+    Ok((memberships, derived_adj))
+}
+
+/// The stats key for one predicate shape on one class (`oql.sel.*`): the
+/// observed fraction of candidates a structurally-identical condition
+/// keeps. Keyed by class + predicate fingerprint, not by query, so every
+/// query with the same condition shares the estimate.
+fn sel_key(class: dood_core::ids::ClassId, pred: &CPred) -> String {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{pred:?}").hash(&mut h);
+    format!("oql.sel.c{}.{:016x}", class.index(), h.finish())
+}
+
+/// The stats key for one traversal direction of a base association
+/// (`oql.fan.*`): `dir` is the association's own from→to orientation.
+fn fan_key_assoc(assoc: dood_core::ids::AssocId, dir: bool) -> String {
+    format!("oql.fan.a{}.{}", assoc.index(), if dir { "f" } else { "r" })
+}
+
+/// Default condition selectivity when no observation exists: index-served
+/// conditions are assumed highly selective, scanned ones moderately so.
+const DEFAULT_SEL_HINTED: f64 = 0.05;
+const DEFAULT_SEL_COND: f64 = 0.33;
+
+/// Minimum sample size before a scan feeds the stats registry — tiny
+/// candidate sets produce noisy ratios.
+const STAT_MIN_SCAN: usize = 4;
+
+/// Lower a resolved context to its compiled form: gather cost-model
+/// inputs (observed stats where present, schema-derived estimates
+/// otherwise), pre-direct base edges, and order every retention span
+/// under `mode`.
+fn build_plan(
+    ctx: &ResolvedContext,
+    db: &Database,
+    memberships: &[Members<'_>],
+    derived_adj: &FxHashMap<usize, (&SlotAdj, bool)>,
+    preds: Vec<Option<CPred>>,
+    hints: Vec<Option<IndexScan>>,
+    mode: PlannerMode,
+) -> CompiledContext {
+    let n = ctx.slots.len();
+    let cards: Vec<f64> = (0..n)
+        .map(|i| match &memberships[i] {
+            Members::Open => db.extent_size(ctx.slots[i].base) as f64,
+            Members::Indexed(ix, s) => ix.slot_len(*s) as f64,
+            Members::Fixed(set) => set.len() as f64,
+        })
+        .collect();
+    let sel_keys: Vec<Option<String>> = (0..n)
+        .map(|i| preds[i].as_ref().map(|p| sel_key(ctx.slots[i].base, p)))
+        .collect();
+    let sels: Vec<f64> = (0..n)
+        .map(|i| match &sel_keys[i] {
+            Some(k) => stats::get(k).unwrap_or(if hints[i].is_some() {
+                DEFAULT_SEL_HINTED
+            } else {
+                DEFAULT_SEL_COND
+            }),
+            None => 1.0,
+        })
+        .collect();
+    let constrained: Vec<bool> = (0..n)
+        .map(|i| preds[i].is_some() || !matches!(memberships[i], Members::Open))
+        .collect();
+    let hinted: Vec<bool> = hints.iter().map(Option::is_some).collect();
+    let mut edges = Vec::with_capacity(ctx.edges.len());
+    let mut fan_keys = Vec::with_capacity(ctx.edges.len());
+    let mut fwd_fan = Vec::with_capacity(ctx.edges.len());
+    let mut rev_fan = Vec::with_capacity(ctx.edges.len());
+    for (i, e) in ctx.edges.iter().enumerate() {
+        let nonassoc = matches!(e.op, crate::ast::PatOp::NonAssoc);
+        match &e.kind {
+            REdgeKind::Base(edge) => {
+                let flat = match edge {
+                    ResolvedEdge::Assoc { up_x, assoc, forward, up_y }
+                        if up_x.is_empty() && up_y.is_empty() =>
+                    {
+                        Some((*assoc, *forward))
+                    }
+                    _ => None,
+                };
+                edges.push(EdgeInfo {
+                    nonassoc,
+                    flat,
+                    fwd: Some(edge.clone()),
+                    rev: Some(reverse_edge(edge)),
+                });
+                match edge {
+                    ResolvedEdge::Assoc { assoc, forward, .. } => {
+                        let def = db.schema().assoc(*assoc);
+                        let links = db.link_count(*assoc) as f64;
+                        let (from_c, to_c) =
+                            if *forward { (def.from, def.to) } else { (def.to, def.from) };
+                        let kf = fan_key_assoc(*assoc, *forward);
+                        let kr = fan_key_assoc(*assoc, !*forward);
+                        fwd_fan.push(
+                            stats::get(&kf)
+                                .unwrap_or(links / db.extent_size(from_c).max(1) as f64),
+                        );
+                        rev_fan.push(
+                            stats::get(&kr)
+                                .unwrap_or(links / db.extent_size(to_c).max(1) as f64),
+                        );
+                        fan_keys.push(Some((kf, kr)));
+                    }
+                    ResolvedEdge::Identity { .. } => {
+                        fwd_fan.push(1.0);
+                        rev_fan.push(1.0);
+                        fan_keys.push(None);
+                    }
+                }
+            }
+            REdgeKind::Derived { subdb, a, b } => {
+                edges.push(EdgeInfo { nonassoc, flat: None, fwd: None, rev: None });
+                let pairs = derived_adj
+                    .get(&i)
+                    .map_or(0.0, |&(adj, _)| adj.pair_count() as f64);
+                let kf = format!("oql.fan.d.{subdb}.{a}.{b}");
+                let kr = format!("oql.fan.d.{subdb}.{b}.{a}");
+                fwd_fan.push(stats::get(&kf).unwrap_or(pairs / cards[i].max(1.0)));
+                rev_fan.push(stats::get(&kr).unwrap_or(pairs / cards[i + 1].max(1.0)));
+                fan_keys.push(Some((kf, kr)));
+            }
+        }
+    }
+    let parts = CompileParts {
+        preds,
+        hints,
+        sel_keys,
+        fan_keys,
+        edges,
+        slot_names: ctx.slots.iter().map(|s| s.name.clone()).collect(),
+        span_bounds: ctx.spans.clone(),
+    };
+    let inputs = PlanInputs { cards, sels, fwd_fan, rev_fan, constrained, hinted };
+    crate::plan::compile(parts, inputs, mode)
+}
+
 impl<'a> Evaluator<'a> {
-    /// Prepare an evaluator: compiles predicates and binds derived slots
-    /// and edges to their source subdatabases' access indexes
+    /// Prepare an evaluator: compiles predicates into a cost-ordered
+    /// [`CompiledContext`] (DESIGN.md §10) and binds derived slots and
+    /// edges to their source subdatabases' access indexes
     /// ([`Subdatabase::index`]). Construction is O(1) in source size when
     /// the indexes already exist — the steady state for incremental rule
     /// maintenance, which constructs an evaluator per delta step against
-    /// slowly-changing registered sources.
+    /// slowly-changing registered sources (and can skip even the
+    /// compilation via [`Evaluator::with_compiled`]).
     pub fn new(
         ctx: &'a ResolvedContext,
         db: &'a Database,
         registry: &'a SubdbRegistry,
     ) -> Result<Self, QueryError> {
-        let mut memberships = Vec::with_capacity(ctx.slots.len());
-        let mut conds = Vec::with_capacity(ctx.slots.len());
+        let (memberships, derived_adj) = bind_sources(ctx, registry)?;
+        let mut preds = Vec::with_capacity(ctx.slots.len());
         for slot in &ctx.slots {
-            match &slot.derived {
-                Some((subdb, slot_name)) => {
-                    let entry = registry
-                        .get(subdb)
-                        .ok_or_else(|| QueryError::UnknownSubdb(subdb.clone()))?;
-                    let idx = entry.subdb.intension.slot_by_name(slot_name).ok_or_else(
-                        || QueryError::UnknownSubdbClass {
-                            subdb: subdb.clone(),
-                            class: slot_name.clone(),
-                        },
-                    )?;
-                    memberships.push(Members::Indexed(entry.subdb.index(), idx));
-                }
-                None => memberships.push(Members::Open),
-            }
-            conds.push(match &slot.cond {
+            preds.push(match &slot.cond {
                 Some(p) => Some(compile_pred(p, slot, db)?),
                 None => None,
             });
         }
-        let mut derived_adj = FxHashMap::default();
-        let edge_adj = |subdb: &String, a: usize, b: usize| -> Result<(&'a SlotAdj, bool), QueryError> {
-            let entry = registry
-                .get(subdb)
-                .ok_or_else(|| QueryError::UnknownSubdb(subdb.clone()))?;
-            Ok(entry
-                .subdb
-                .index()
-                .pair_adj(a, b)
-                .expect("resolved derived edge joins two distinct slots"))
-        };
-        for (i, e) in ctx.edges.iter().enumerate() {
-            if let REdgeKind::Derived { subdb, a, b } = &e.kind {
-                derived_adj.insert(i, edge_adj(subdb, *a, *b)?);
-            }
-        }
-        if let Some((_, REdgeKind::Derived { subdb, a, b })) = &ctx.closure {
-            derived_adj.insert(usize::MAX, edge_adj(subdb, *a, *b)?);
-        }
-        let index_scan = ctx
+        let hints: Vec<Option<IndexScan>> = ctx
             .slots
             .iter()
-            .zip(&conds)
+            .zip(&preds)
             .map(|(slot, cond)| {
                 // Index filtering only applies to base-class slots (derived
                 // membership already narrows candidates).
@@ -234,21 +385,71 @@ impl<'a> Evaluator<'a> {
                 cond.as_ref().and_then(|c| index_hint(slot.base, c, db))
             })
             .collect();
+        let planner = PlannerMode::from_env();
+        let plan = Arc::new(build_plan(
+            ctx,
+            db,
+            &memberships,
+            &derived_adj,
+            preds,
+            hints,
+            planner,
+        ));
+        let index_scan = plan.hints.clone();
         Ok(Evaluator {
             ctx,
             db,
-            planner: PlannerMode::default(),
+            planner,
+            exec: ExecMode::from_env(),
+            plan,
             memberships,
-            conds,
             derived_adj,
             index_scan,
             pool: ChunkPool::from_env(),
         })
     }
 
-    /// Select the span-join planner (DESIGN.md ablation E9).
+    /// Prepare an evaluator around an already-compiled context (the rule
+    /// cache hot path): binds sources but skips predicate compilation,
+    /// hint detection, and plan ordering entirely. The plan must have been
+    /// compiled for the same resolved context.
+    pub fn with_compiled(
+        ctx: &'a ResolvedContext,
+        db: &'a Database,
+        registry: &'a SubdbRegistry,
+        plan: Arc<CompiledContext>,
+    ) -> Result<Self, QueryError> {
+        let (memberships, derived_adj) = bind_sources(ctx, registry)?;
+        let index_scan = plan.hints.clone();
+        Ok(Evaluator {
+            ctx,
+            db,
+            planner: plan.mode,
+            exec: ExecMode::from_env(),
+            plan,
+            memberships,
+            derived_adj,
+            index_scan,
+            pool: ChunkPool::from_env(),
+        })
+    }
+
+    /// The compiled form, shareable with rule caches (cheap `Arc` clone).
+    pub fn plan_handle(&self) -> Arc<CompiledContext> {
+        Arc::clone(&self.plan)
+    }
+
+    /// Select the span-join planner (DESIGN.md ablation E9); re-orders the
+    /// compiled plan under the new mode.
     pub fn with_planner(mut self, planner: PlannerMode) -> Self {
         self.planner = planner;
+        self.replan();
+        self
+    }
+
+    /// Select the span-join executor (DESIGN.md ablation E17).
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -257,6 +458,14 @@ impl<'a> Evaluator<'a> {
     pub fn with_pool(mut self, pool: ChunkPool) -> Self {
         self.pool = pool;
         self
+    }
+
+    /// Re-order the compiled plan's spans under the current planner mode
+    /// and inputs (after a mode switch or slot restriction).
+    fn replan(&mut self) {
+        let mut p = (*self.plan).clone();
+        p.reorder(self.planner);
+        self.plan = Arc::new(p);
     }
 
     /// Whether `oid` is currently a live instance of `slot`'s base class.
@@ -277,10 +486,19 @@ impl<'a> Evaluator<'a> {
             .into_iter()
             .filter(|&o| self.live_in_slot(slot, o) && self.member_ok(slot, o))
             .collect();
+        let restricted = live.len() as f64;
         self.memberships[slot] = Members::Fixed(live);
         // A restriction invalidates any index hint for the slot (the index
-        // would widen the candidate set again).
+        // would widen the candidate set again), and re-orders the plan
+        // around the now-tiny candidate set.
         self.index_scan[slot] = None;
+        let mut p = (*self.plan).clone();
+        p.inputs.cards[slot] = restricted;
+        p.inputs.constrained[slot] = true;
+        p.inputs.hinted[slot] = false;
+        p.hints[slot] = None;
+        p.reorder(self.planner);
+        self.plan = Arc::new(p);
         self
     }
 
@@ -352,12 +570,23 @@ impl<'a> Evaluator<'a> {
                 if restricted.is_empty() {
                     continue;
                 }
+                let restricted_len = restricted.len() as f64;
                 let saved_m = std::mem::replace(
                     &mut self.memberships[slot],
                     Members::Fixed(restricted),
                 );
                 let saved_ix = self.index_scan[slot].take();
-                for row in self.join_span(lo, hi) {
+                // Compiled execution re-plans the span around the
+                // restricted slot (the semi-naive delta anchor) instead of
+                // reusing the full-evaluation order.
+                let rows = match self.exec {
+                    ExecMode::Interp => self.join_span(lo, hi),
+                    ExecMode::Compiled => {
+                        let dsp = self.plan.delta_span(lo, hi, slot, restricted_len);
+                        self.exec_span(&dsp)
+                    }
+                };
+                for row in rows {
                     let mut comps = vec![None; width];
                     for (i, oid) in row.into_iter().enumerate() {
                         comps[lo + i] = Some(oid);
@@ -389,7 +618,7 @@ impl<'a> Evaluator<'a> {
     /// condition; class correctness is guaranteed by traversal).
     fn accepts(&self, slot: usize, oid: Oid) -> bool {
         self.member_ok(slot, oid)
-            && match &self.conds[slot] {
+            && match &self.plan.preds[slot] {
                 Some(p) => p.eval(self.db, oid),
                 None => true,
             }
@@ -405,6 +634,12 @@ impl<'a> Evaluator<'a> {
                 if obs::metrics_enabled() {
                     obs::metrics::counter("oql.index_scan.served").inc();
                 }
+                let raw = self.db.extent_size(self.ctx.slots[slot].base);
+                if raw >= STAT_MIN_SCAN {
+                    if let Some(k) = &self.plan.sel_keys[slot] {
+                        stats::observe(k, hits.len() as f64 / raw as f64);
+                    }
+                }
                 return hits;
             }
         }
@@ -417,7 +652,7 @@ impl<'a> Evaluator<'a> {
             }
             Members::Fixed(set) => set.iter().copied().collect(),
         };
-        match &self.conds[slot] {
+        match &self.plan.preds[slot] {
             Some(p) => {
                 let scanned = base.len();
                 let kept: Vec<Oid> =
@@ -425,6 +660,15 @@ impl<'a> Evaluator<'a> {
                 if obs::metrics_enabled() {
                     obs::metrics::counter("oql.pred.scanned").add(scanned as u64);
                     obs::metrics::counter("oql.pred.kept").add(kept.len() as u64);
+                }
+                // Feed the planner — but not from explicit restrictions
+                // (delta sets), whose selectivity is not representative.
+                if scanned >= STAT_MIN_SCAN
+                    && !matches!(self.memberships[slot], Members::Fixed(_))
+                {
+                    if let Some(k) = &self.plan.sel_keys[slot] {
+                        stats::observe(k, kept.len() as f64 / scanned as f64);
+                    }
                 }
                 kept
             }
@@ -517,18 +761,208 @@ impl<'a> Evaluator<'a> {
         out
     }
 
-    /// Full inner join over the chain `[lo, hi)`, anchored at the smallest
-    /// candidate set. Rows come back in slot order `lo..hi`.
-    ///
-    /// The anchor candidate set is partitioned into chunks evaluated by the
-    /// pool; per-chunk row buffers are concatenated in chunk order.
-    /// [`extend`](Self::extend) maps each input row to its extensions in
-    /// candidate order, so chunked-and-concatenated output is identical to
-    /// the sequential row order at every thread count.
+    /// Full inner join over the chain `[lo, hi)`. Rows come back in slot
+    /// order `lo..hi`. Dispatches on the executor mode: the compiled plan
+    /// interpreter (default) or the legacy AST-walking join (the E17
+    /// baseline).
     fn join_span(&self, lo: usize, hi: usize) -> Vec<Vec<Oid>> {
         debug_assert!(lo < hi);
+        if self.exec == ExecMode::Compiled {
+            if let Some(sp) = self.plan.span(lo, hi) {
+                return self.exec_span(sp);
+            }
+        }
+        self.join_span_interp(lo, hi)
+    }
+
+    /// Execute one compiled span plan: anchor scan, then the fused DFS
+    /// pipeline. The anchor candidate set is partitioned into chunks
+    /// evaluated by the pool; per-chunk row buffers are concatenated in
+    /// chunk order, and the DFS visits candidates and neighbors in a fixed
+    /// order, so output is identical at every thread count.
+    ///
+    /// Emits the `oql.join` span with per-stage `oql.plan.*` children
+    /// carrying estimated vs. measured cardinalities (the EXPLAIN ANALYZE
+    /// payload `doodprof --plan` renders), and feeds observed fan-out /
+    /// acceptance ratios back into `obs::stats` for later plans.
+    fn exec_span(&self, sp: &SpanPlan) -> Vec<Vec<Oid>> {
+        let mut tsp = obs::trace::span("oql.join");
+        tsp.attr("lo", sp.lo as i64);
+        tsp.attr("hi", sp.hi as i64);
+        tsp.attr("anchor", sp.anchor as i64);
+        let cands = self.candidates(sp.anchor);
+        tsp.attr("rows_in", cands.len() as i64);
+        // `!` stages enumerate the target slot's candidates; hoist each
+        // list once per span instead of once per row.
+        let na: Vec<Option<Vec<Oid>>> = sp
+            .steps
+            .iter()
+            .map(|st| if st.nonassoc { Some(self.candidates(st.to_slot)) } else { None })
+            .collect();
+        let (rows, scanned, kept) = if self.pool.is_sequential(cands.len()) {
+            self.exec_span_rows(sp, &cands, &na)
+        } else {
+            let parts =
+                self.pool.par_chunk_map(&cands, |chunk| self.exec_span_rows(sp, chunk, &na));
+            let mut rows = Vec::new();
+            let mut scanned = vec![0u64; sp.steps.len()];
+            let mut kept = vec![0u64; sp.steps.len()];
+            for (r, s, k) in parts {
+                rows.extend(r);
+                for i in 0..s.len() {
+                    scanned[i] += s[i];
+                    kept[i] += k[i];
+                }
+            }
+            (rows, scanned, kept)
+        };
+        tsp.attr("rows_out", rows.len() as i64);
+        // Feed the planner: per-stage fan-out (neighbors per input row)
+        // and acceptance (survivors per neighbor) for association stages.
+        // `!` stages get their target selectivity from the hoisted
+        // candidate scan above.
+        let mut rows_in = cands.len() as f64;
+        for (i, st) in sp.steps.iter().enumerate() {
+            if !st.nonassoc {
+                if rows_in >= 1.0 {
+                    if let Some((kf, kr)) = &self.plan.fan_keys[st.edge] {
+                        let key = if st.forward { kf } else { kr };
+                        stats::observe(key, scanned[i] as f64 / rows_in);
+                    }
+                }
+                if scanned[i] as usize >= STAT_MIN_SCAN {
+                    if let Some(sk) = &self.plan.sel_keys[st.to_slot] {
+                        stats::observe(sk, kept[i] as f64 / scanned[i] as f64);
+                    }
+                }
+            }
+            rows_in = kept[i] as f64;
+        }
+        if tsp.on() {
+            let mut c = obs::trace::span("oql.plan.scan");
+            c.label(|| self.plan.slot_names[sp.anchor].clone());
+            c.attr("slot", sp.anchor as i64);
+            c.attr("est", sp.est_anchor.round() as i64);
+            c.attr("rows", cands.len() as i64);
+            drop(c);
+            for (i, st) in sp.steps.iter().enumerate() {
+                let mut c = obs::trace::span("oql.plan.step");
+                c.label(|| {
+                    format!(
+                        "{}{}{}",
+                        self.plan.slot_names[st.from_slot],
+                        if st.nonassoc { "!" } else { "->" },
+                        self.plan.slot_names[st.to_slot]
+                    )
+                });
+                c.attr("slot", st.to_slot as i64);
+                c.attr("est", st.est_rows.round() as i64);
+                c.attr("scanned", scanned[i] as i64);
+                c.attr("rows", kept[i] as i64);
+                drop(c);
+            }
+        }
+        if obs::metrics_enabled() {
+            obs::metrics::counter("oql.join.evals").inc();
+            obs::metrics::counter("oql.join.rows_out").add(rows.len() as u64);
+        }
+        rows
+    }
+
+    /// The compiled span pipeline over a subset of the anchor's
+    /// candidates. Returns the bound rows (slot order `lo..hi`) plus
+    /// per-stage `(scanned, kept)` counters.
+    fn exec_span_rows(
+        &self,
+        sp: &SpanPlan,
+        cands: &[Oid],
+        na: &[Option<Vec<Oid>>],
+    ) -> (Vec<Vec<Oid>>, Vec<u64>, Vec<u64>) {
+        let mut out = Vec::new();
+        let mut scanned = vec![0u64; sp.steps.len()];
+        let mut kept = vec![0u64; sp.steps.len()];
+        let mut row = vec![Oid(0); sp.hi - sp.lo];
+        for &o in cands {
+            row[sp.anchor - sp.lo] = o;
+            self.exec_steps(sp, na, &mut row, 0, &mut out, &mut scanned, &mut kept);
+        }
+        (out, scanned, kept)
+    }
+
+    /// One DFS level of the fused pipeline: traverse the stage's edge from
+    /// the already-bound source slot, filter (membership + predicate),
+    /// bind the target slot in the slot-indexed row buffer, and recurse.
+    /// Rows are cloned out at the leaves only, already in slot order — no
+    /// per-stage row materialization or reorder pass.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_steps(
+        &self,
+        sp: &SpanPlan,
+        na: &[Option<Vec<Oid>>],
+        row: &mut Vec<Oid>,
+        depth: usize,
+        out: &mut Vec<Vec<Oid>>,
+        scanned: &mut [u64],
+        kept: &mut [u64],
+    ) {
+        if depth == sp.steps.len() {
+            out.push(row.clone());
+            return;
+        }
+        let st = &sp.steps[depth];
+        let from = row[st.from_slot - sp.lo];
+        if st.nonassoc {
+            // "A ! B": pairs whose instances are NOT associated.
+            let kind = &self.ctx.edges[st.edge].kind;
+            for &next in na[depth].as_ref().expect("hoisted ! candidates") {
+                scanned[depth] += 1;
+                let linked = if st.forward {
+                    self.links(st.edge, kind, from, next)
+                } else {
+                    self.links(st.edge, kind, next, from)
+                };
+                if !linked {
+                    kept[depth] += 1;
+                    row[st.to_slot - sp.lo] = next;
+                    self.exec_steps(sp, na, row, depth + 1, out, scanned, kept);
+                }
+            }
+            return;
+        }
+        let info = &self.plan.edges[st.edge];
+        let owned: Vec<Oid>;
+        let neighbors: &[Oid] = if let Some((assoc, f)) = info.flat {
+            // Plain association: zero-alloc neighbor slice from the store.
+            self.db.neighbors(assoc, from, if st.forward { f } else { !f })
+        } else if let Some(fwd) = &info.fwd {
+            // Chained base edge, pre-directed at compile time (no per-row
+            // edge reversal).
+            let e = if st.forward { fwd } else { info.rev.as_ref().expect("rev precomputed") };
+            owned = self.db.traverse(from, e);
+            &owned
+        } else {
+            self.derived_adj
+                .get(&st.edge)
+                .map(|&(adj, flip)| adj.neighbors(from, st.forward ^ flip))
+                .unwrap_or(&[])
+        };
+        for &next in neighbors {
+            scanned[depth] += 1;
+            if self.accepts(st.to_slot, next) {
+                kept[depth] += 1;
+                row[st.to_slot - sp.lo] = next;
+                self.exec_steps(sp, na, row, depth + 1, out, scanned, kept);
+            }
+        }
+    }
+
+    /// The legacy AST-walking span join, anchored by the planner heuristic
+    /// (cost-based degrades to MinExtent here — the interpreter has no
+    /// ordered pipeline to follow). Kept intact as the E17 baseline and
+    /// the closure-context machinery.
+    fn join_span_interp(&self, lo: usize, hi: usize) -> Vec<Vec<Oid>> {
         let anchor = match self.planner {
-            PlannerMode::MinExtent => (lo..hi)
+            PlannerMode::MinExtent | PlannerMode::CostBased => (lo..hi)
                 .min_by_key(|&i| self.candidate_count_estimate(i))
                 .unwrap(),
             PlannerMode::Leftmost => lo,
@@ -606,15 +1040,21 @@ impl<'a> Evaluator<'a> {
     fn eval_flat(&self, name: &str, sp: &mut obs::trace::Span) -> Subdatabase {
         let width = self.ctx.slots.len();
         let mut sd = Subdatabase::new(name, self.intension());
+        // Collect every span's rows first and bulk-build the pattern set:
+        // `set_patterns` collects through `BTreeSet::from_iter`, whose
+        // sort-then-bulk-load path beats one-at-a-time tree inserts by a
+        // wide margin on join-sized extensions.
+        let mut all: Vec<ExtPattern> = Vec::new();
         for &(lo, hi) in &self.ctx.spans {
             for row in self.join_span(lo, hi) {
                 let mut comps = vec![None; width];
                 for (i, oid) in row.into_iter().enumerate() {
                     comps[lo + i] = Some(oid);
                 }
-                sd.insert(ExtPattern::new(comps));
+                all.push(ExtPattern::new(comps));
             }
         }
+        sd.set_patterns(all);
         let before = sd.len();
         sd.retain_maximal();
         let subsumed = before - sd.len();

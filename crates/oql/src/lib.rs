@@ -8,8 +8,9 @@
 //! closure (`^*`, `^N`).
 //!
 //! Pipeline: [`parser::Parser`] → [`resolve::resolve_context`] →
-//! [`eval::Evaluator`] → [`wherec::apply_where`] → [`table::build_table`] →
-//! [`engine::Oql`] operations.
+//! [`plan`] (compiled, cost-ordered join pipelines) → [`eval::Evaluator`]
+//! → [`wherec::apply_where`] → [`table::build_table`] → [`engine::Oql`]
+//! operations.
 
 #![warn(missing_docs)]
 
@@ -19,6 +20,7 @@ pub mod error;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod printer;
 pub mod resolve;
 pub mod table;
@@ -26,7 +28,8 @@ pub mod token;
 pub mod wherec;
 
 pub use engine::{eval_context, Oql, QueryOutput};
-pub use eval::{Evaluator, PlannerMode};
+pub use eval::{Evaluator, ExecMode, PlannerMode};
+pub use plan::CompiledContext;
 pub use error::{ParseError, QueryError};
 pub use parser::Parser;
 pub use table::Table;

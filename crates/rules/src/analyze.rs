@@ -18,9 +18,11 @@
 //!    full named cycle path (`E014`), and cycles that pass through a
 //!    negated (`!`) read of a derived subdatabase are flagged as
 //!    negation-through-derivation (`E015`).
-//! 4. **Lints** — dead rules (`W102`), duplicate rule bodies (`W103`), and
+//! 4. **Lints** — dead rules (`W102`), duplicate rule bodies (`W103`),
 //!    Null-propagation from `{...}` brace retention into `=` comparisons
-//!    (`W104`). A strategy-aware lint, `W105` (a forward rule reading a
+//!    (`W104`), and `!` edges whose best static plan is still an
+//!    unconstrained cross-product stage (`W106`). A strategy-aware lint,
+//!    `W105` (a forward rule reading a
 //!    backward-derived source, the paper's §6 staleness hazard), runs
 //!    separately via [`lint_forward_reads_backward`] because it needs the
 //!    engine's rule-oriented strategy assignment, not just the program
@@ -550,10 +552,34 @@ impl<'a> Analyzer<'a> {
     }
 
     /// Check every association-pattern edge (E004/E005), including the
-    /// closure's cycle-back edge.
+    /// closure's cycle-back edge, and lint unavoidable cross products
+    /// (W106).
     fn check_edges(&mut self, sh: &Shape<'_>, occs: &[OccInfo], closed: bool, owner: &str) {
         for i in 0..sh.ops.len() {
             self.check_edge(&occs[i], &occs[i + 1], owner);
+            // W106: a `!` edge is evaluated as a complement scan of the
+            // target slot's extent. The planner may direct it either way,
+            // so one conditioned (or subdatabase-restricted) endpoint is
+            // enough to bound it — but when *both* endpoints are
+            // unconstrained, every join order pays a full cross-product
+            // stage over the two extents.
+            if matches!(sh.ops[i], PatOp::NonAssoc) {
+                let unconstrained = |k: usize| sh.occs[k].1.is_none() && occs[k].subdb.is_none();
+                if unconstrained(i) && unconstrained(i + 1) {
+                    self.warn(
+                        "W106",
+                        format!(
+                            "`!` between unconditioned `{}` and `{}` is an \
+                             unconstrained cross-product stage under every join \
+                             order; add a `[...]` condition to either side",
+                            occs[i].name,
+                            occs[i + 1].name
+                        ),
+                        occs[i].span,
+                        owner,
+                    );
+                }
+            }
         }
         if closed && occs.len() >= 2 {
             let (last, first) = (occs.len() - 1, 0);

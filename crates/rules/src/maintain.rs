@@ -33,10 +33,12 @@ use dood_core::obs;
 use dood_core::subdb::{ExtPattern, Subdatabase, SubdbRegistry};
 use dood_oql::ast::WhereCond;
 use dood_oql::eval::Evaluator;
+use dood_oql::plan::CompiledContext;
 use dood_oql::resolve::{resolve_context, ResolvedContext};
 use dood_oql::wherec::apply_where;
 use dood_store::Database;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// How a rule can be maintained under updates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +117,10 @@ pub struct RuleCache {
     /// depends on the schema and the sources' *intensions* only — both
     /// fixed for the lifetime of a rule program — so delta steps reuse it.
     resolved: ResolvedContext,
+    /// The compiled join pipeline (DESIGN.md §10), captured at seeding:
+    /// delta steps skip predicate compilation and plan ordering and only
+    /// re-anchor per restricted slot.
+    plan: Arc<CompiledContext>,
 }
 
 /// Tally derivation counts: how many post-context patterns project onto
@@ -146,9 +152,9 @@ pub fn seed_cache(
     }
     let resolved =
         resolve_context(&rule.context, db.schema(), registry).map_err(RuleError::Query)?;
-    let ctx_pre = Evaluator::new(&resolved, db, registry)
-        .map_err(RuleError::Query)?
-        .eval("if-context");
+    let ev = Evaluator::new(&resolved, db, registry).map_err(RuleError::Query)?;
+    let plan = ev.plan_handle();
+    let ctx_pre = ev.eval("if-context");
     let (prefix, suffix) = split_where(&rule.where_);
     let mut post = ctx_pre.clone();
     apply_where(&mut post, prefix, db).map_err(RuleError::Query)?;
@@ -162,7 +168,7 @@ pub fn seed_cache(
     } else {
         FxHashMap::default()
     };
-    Ok(RuleCache { ctx_pre, post, counts, target, at_seq: db.seq(), resolved })
+    Ok(RuleCache { ctx_pre, post, counts, target, at_seq: db.seq(), resolved, plan })
 }
 
 /// The exact target-pattern edits one delta step performed. The engine
@@ -322,7 +328,8 @@ pub fn delta_apply(
     //    merged into the retained context under subsumption. A delta row
     //    equal to (or part of) a retained clean pattern is redundant; a
     //    retained pattern that a delta row strictly covers is dropped.
-    let mut ev = Evaluator::new(&cache.resolved, db, registry).map_err(RuleError::Query)?;
+    let mut ev = Evaluator::with_compiled(&cache.resolved, db, registry, Arc::clone(&cache.plan))
+        .map_err(RuleError::Query)?;
     let delta = ev.eval_delta(&cache.ctx_pre.name, &rebind);
     let mut added: Vec<ExtPattern> = Vec::new();
     for r in &delta {

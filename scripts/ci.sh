@@ -68,4 +68,17 @@ if [ "${DOOD_E16_FULL:-0}" = "1" ]; then
         cargo bench -p dood-bench --bench e16_incremental
 fi
 
+echo "== ci: compiled-pipeline smoke (bench e17_compile) =="
+# Smoke mode exercises the compiled and interpreted paths plus all three
+# planner modes (timings meaningless, so both verdicts self-skip). Set
+# DOOD_E17_FULL=1 to also run the timed bench with the compile-speedup and
+# plan-quality gates enforced (DOOD_BENCH_STRICT=1).
+DOOD_BENCH_SMOKE=1 DOOD_BENCH_JSON="$SMOKE_JSON" \
+    cargo bench -p dood-bench --bench e17_compile
+if [ "${DOOD_E17_FULL:-0}" = "1" ]; then
+    echo "== ci: e17 compile-speedup + plan-quality gates (DOOD_BENCH_STRICT=1) =="
+    DOOD_BENCH_STRICT=1 DOOD_BENCH_JSON="$SMOKE_JSON" \
+        cargo bench -p dood-bench --bench e17_compile
+fi
+
 echo "ci: PASS"

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! doodprof [--builtin NAME | FILE.dood] [--seed N] [--metrics] [--json]
-//!          [--trace-out FILE] [--validate FILE]
+//!          [--plan] [--trace-out FILE] [--validate FILE]
 //! ```
 //!
 //! Loads a rule program (a file, or a built-in workload program by name),
@@ -17,7 +17,11 @@
 //! * `--metrics` — also enable the metrics registry and dump it (plus event
 //!   log subscriber stats) after the run.
 //! * `--json` — machine-readable output: one JSON object per profile (and
-//!   per metric, under `--metrics`).
+//!   per metric, under `--metrics`; per plan, under `--plan`).
+//! * `--plan` — also print each compiled join pipeline (DESIGN.md §10):
+//!   one block per executed `oql.join` span, with the planner's estimated
+//!   cardinality next to the measured scanned/kept counts per stage, so
+//!   misestimates are visible at a glance.
 //! * `--trace-out FILE` — additionally stream every closed span to `FILE`
 //!   as JSON lines (same format as `DOOD_TRACE=1`).
 //! * `--validate FILE` — don't profile; check that `FILE` is a well-formed
@@ -33,12 +37,14 @@ use dood::store::Database;
 use dood::workload::programs;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: doodprof [--builtin NAME | FILE.dood] [--seed N] [--metrics] [--json] [--trace-out FILE] [--validate FILE]
+const USAGE: &str = "usage: doodprof [--builtin NAME | FILE.dood] [--seed N] [--metrics] [--json] [--plan] [--trace-out FILE] [--validate FILE]
   --builtin NAME    profile a built-in workload program
                     (university | company | cad)
   --seed N          population seed (default 42)
   --metrics         enable and dump the metrics registry after the run
   --json            machine-readable output (one JSON object per line)
+  --plan            also print each compiled join pipeline with estimated
+                    vs. measured cardinalities per stage
   --trace-out FILE  also stream spans to FILE as JSON lines
   --validate FILE   validate a JSON-lines trace export and exit";
 
@@ -48,6 +54,7 @@ fn main() -> ExitCode {
     let mut seed: u64 = 42;
     let mut metrics = false;
     let mut json = false;
+    let mut plan = false;
     let mut trace_out: Option<String> = None;
     let mut validate: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -63,6 +70,7 @@ fn main() -> ExitCode {
             },
             "--metrics" => metrics = true,
             "--json" => json = true,
+            "--plan" => plan = true,
             "--trace-out" => match args.next() {
                 Some(p) => trace_out = Some(p),
                 None => return usage_err("`--trace-out` needs a path"),
@@ -147,7 +155,13 @@ fn main() -> ExitCode {
     for (export, _) in &program.exports {
         let (rows, spans) = obs::trace::capture(|| engine.subdb(export).map(|sd| sd.len()));
         match rows {
-            Ok(rows) => emit("export", export, rows, &Profile::single(&spans), json),
+            Ok(rows) => {
+                let profile = Profile::single(&spans);
+                emit("export", export, rows, &profile, json);
+                if plan {
+                    emit_plans("export", export, &profile, json);
+                }
+            }
             Err(e) => {
                 eprintln!("doodprof: export {export}: {e}");
                 failed = true;
@@ -156,7 +170,12 @@ fn main() -> ExitCode {
     }
     for pq in &program.queries {
         match engine.run_query_profiled(&pq.query) {
-            Ok((out, profile)) => emit("query", &pq.name, out.table.len(), &profile, json),
+            Ok((out, profile)) => {
+                emit("query", &pq.name, out.table.len(), &profile, json);
+                if plan {
+                    emit_plans("query", &pq.name, &profile, json);
+                }
+            }
             Err(e) => {
                 eprintln!("doodprof: query {}: {e}", pq.name);
                 failed = true;
@@ -193,6 +212,85 @@ fn emit(kind: &str, name: &str, rows: usize, profile: &Profile, json: bool) {
         println!("== {kind} {name} ==  rows={rows}");
         print!("{}", profile.render());
         println!();
+    }
+}
+
+/// `--plan`: extract every compiled join pipeline from a profile tree —
+/// the `oql.join` nodes carrying `oql.plan.scan` / `oql.plan.step`
+/// children — and print estimated vs. measured cardinalities per stage.
+fn emit_plans(kind: &str, name: &str, profile: &Profile, json: bool) {
+    fn collect<'a>(p: &'a Profile, out: &mut Vec<&'a Profile>) {
+        if p.name == "oql.join" && p.children.iter().any(|c| c.name.starts_with("oql.plan.")) {
+            out.push(p);
+        }
+        for c in &p.children {
+            collect(c, out);
+        }
+    }
+    let mut joins = Vec::new();
+    collect(profile, &mut joins);
+    for (ji, j) in joins.iter().enumerate() {
+        let a = |k: &str| j.attr(k).unwrap_or(-1);
+        if json {
+            let mut stages = String::new();
+            for (si, c) in
+                j.children.iter().filter(|c| c.name.starts_with("oql.plan.")).enumerate()
+            {
+                if si > 0 {
+                    stages.push(',');
+                }
+                let op = c.name.strip_prefix("oql.plan.").unwrap_or(&c.name);
+                stages.push_str(&format!(
+                    "{{\"op\":\"{}\",\"label\":\"{}\",\"slot\":{},\"est\":{},\"rows\":{}",
+                    obs::json_escape(op),
+                    obs::json_escape(c.label.as_deref().unwrap_or("")),
+                    c.attr("slot").unwrap_or(-1),
+                    c.attr("est").unwrap_or(-1),
+                    c.attr("rows").unwrap_or(-1),
+                ));
+                if let Some(s) = c.attr("scanned") {
+                    stages.push_str(&format!(",\"scanned\":{s}"));
+                }
+                stages.push('}');
+            }
+            println!(
+                "{{\"kind\":\"plan\",\"of\":\"{kind}\",\"name\":\"{}\",\"join\":{ji},\
+                 \"lo\":{},\"hi\":{},\"anchor\":{},\"rows_in\":{},\"rows_out\":{},\
+                 \"stages\":[{stages}]}}",
+                obs::json_escape(name),
+                a("lo"),
+                a("hi"),
+                a("anchor"),
+                a("rows_in"),
+                a("rows_out"),
+            );
+        } else {
+            println!(
+                "-- plan {kind} {name} join#{ji}: span [{},{}) anchor=slot{} rows {} -> {}",
+                a("lo"),
+                a("hi"),
+                a("anchor"),
+                a("rows_in"),
+                a("rows_out"),
+            );
+            for c in j.children.iter().filter(|c| c.name.starts_with("oql.plan.")) {
+                let label = c.label.as_deref().unwrap_or("?");
+                match c.name.as_str() {
+                    "oql.plan.scan" => println!(
+                        "   scan {label}  est={} rows={}",
+                        c.attr("est").unwrap_or(-1),
+                        c.attr("rows").unwrap_or(-1),
+                    ),
+                    _ => println!(
+                        "   step {label}  est={} scanned={} rows={}",
+                        c.attr("est").unwrap_or(-1),
+                        c.attr("scanned").unwrap_or(-1),
+                        c.attr("rows").unwrap_or(-1),
+                    ),
+                }
+            }
+            println!();
+        }
     }
 }
 

@@ -314,6 +314,33 @@ fn null_propagation_w104() {
     assert!(c.is_empty(), "{c:?}");
 }
 
+#[test]
+fn cross_product_w106() {
+    // Neither side of `!` carries a condition: the planner cannot avoid a
+    // full cross-product stage, whichever way it directs the edge.
+    let diags = lint(
+        "schema builtin university\nquery Q:\n  context Teacher * Section ! Course display\n",
+    );
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["W106"]);
+    // A condition on either endpoint bounds the stage — no lint.
+    let c = codes(
+        "schema builtin university\nquery Q:\n  context Teacher * Section ! Course[title = 'x'] display\n",
+    );
+    assert!(c.is_empty(), "{c:?}");
+    let c = codes(
+        "schema builtin university\nquery Q:\n  context Teacher * Section[textbook = 'x'] ! Course display\n",
+    );
+    assert!(c.is_empty(), "{c:?}");
+    // A subdatabase-qualified endpoint is membership-restricted — no lint.
+    let c = codes(
+        "schema builtin university\n\
+         rule A:\n  if context Teacher[rank = 'Full'] * Section then SD (Section)\n\
+         rule B:\n  if context Course ! SD:Section then X (Course)\n\
+         export X\n",
+    );
+    assert!(!c.contains(&"W106"), "{c:?}");
+}
+
 // ---------------------------------------------------------------------
 // Engine integration
 // ---------------------------------------------------------------------

@@ -1,0 +1,216 @@
+//! E17 soundness: compiled join pipelines (DESIGN.md §10) must produce
+//! results byte-identical to the legacy AST-walking interpreter — on all
+//! three paper schemas, under every planner mode, at every thread count,
+//! and under arbitrary (even adversarial) planner statistics. Plans may
+//! change; results may not. Plus golden EXPLAIN plan snapshots for the
+//! E1/E6/E7 context shapes, pinning the planner's chosen join orders.
+//!
+//! Driven by the in-repo seeded harness (`dood::core::propcheck`); replay
+//! a reported failure with `DOOD_PROP_SEED=<seed> cargo test <name>`.
+
+use dood::core::obs::stats;
+use dood::core::propcheck::check;
+use dood::core::subdb::SubdbRegistry;
+use dood::core::value::Value;
+use dood::oql::parser::Parser;
+use dood::oql::resolve::resolve_context;
+use dood::oql::{Evaluator, ExecMode, PlannerMode};
+use dood::rules::{EvalPolicy, RuleEngine};
+use dood::store::Database;
+use dood::workload::{cad, company, university};
+use std::sync::Mutex;
+
+const CASES: usize = 6;
+const THREADS: &[&str] = &["1", "2", "4"];
+const MODES: &[PlannerMode] =
+    &[PlannerMode::CostBased, PlannerMode::MinExtent, PlannerMode::Leftmost];
+
+/// The planner statistics registry is process-global; tests that write it
+/// (every compiled execution feeds it) serialize on this lock so the
+/// golden snapshots see exactly the stats they cleared.
+static STATS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    STATS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Evaluate `query` compiled and interpreted under one planner mode;
+/// assert byte-identical pattern sets.
+fn assert_equiv(db: &Database, reg: &SubdbRegistry, query: &str, mode: PlannerMode) {
+    let expr = Parser::parse_context_expr(query).unwrap();
+    let resolved = resolve_context(&expr, db.schema(), reg).unwrap();
+    let compiled = Evaluator::new(&resolved, db, reg)
+        .unwrap()
+        .with_planner(mode)
+        .eval("x")
+        .to_vec();
+    let interp = Evaluator::new(&resolved, db, reg)
+        .unwrap()
+        .with_planner(mode)
+        .with_exec(ExecMode::Interp)
+        .eval("x")
+        .to_vec();
+    assert_eq!(compiled, interp, "compiled != interp for `{query}` under {mode:?}");
+}
+
+/// Context expressions per schema: association chains, braces, `!` edges,
+/// and intra-class conditions — the operator mix the pipeline fuses.
+const UNIVERSITY_QUERIES: &[&str] = &[
+    "Teacher * Section * Course",
+    "{Teacher * Section} * Course",
+    "Department * Course * Section * Student",
+    "Teacher ! Section",
+    "Section * Course [c# >= 6000]",
+    "Student * Section * Course * Department [name = 'CIS']",
+];
+const COMPANY_QUERIES: &[&str] = &[
+    "Employee * Department",
+    "Employee [salary >= 100000] * Project",
+    "{Employee * Department} * Project",
+    "Department ! Project",
+];
+const CAD_QUERIES: &[&str] = &["Supplier * Part", "Supplier ! Part [cost >= 50]"];
+
+fn dbs(seed: u64) -> Vec<(Database, &'static [&'static str])> {
+    vec![
+        (university::populate(university::Size::small(), seed), UNIVERSITY_QUERIES),
+        (company::populate(company::CompanySize::small(), seed).0, COMPANY_QUERIES),
+        (cad::build_bom(cad::BomShape { depth: 3, fanout: 3, roots: 2, share_per_mille: 300 }, seed).0, CAD_QUERIES),
+    ]
+}
+
+#[test]
+fn compiled_equals_interp_across_schemas_and_threads() {
+    let _g = lock();
+    check("compiled_equals_interp_across_schemas_and_threads", CASES, |g| {
+        let seed = g.range(0u64..100);
+        for threads in THREADS {
+            std::env::set_var("DOOD_THREADS", threads);
+            for (db, queries) in dbs(seed) {
+                let reg = SubdbRegistry::new();
+                for q in queries {
+                    for &mode in MODES {
+                        assert_equiv(&db, &reg, q, mode);
+                    }
+                }
+            }
+            std::env::remove_var("DOOD_THREADS");
+        }
+    });
+}
+
+#[test]
+fn random_stats_change_plans_not_results() {
+    let _g = lock();
+    check("random_stats_change_plans_not_results", CASES, |g| {
+        let seed = g.range(0u64..100);
+        for (db, queries) in dbs(seed) {
+            let reg = SubdbRegistry::new();
+            // Prime the registry: one compiled pass populates fan-out and
+            // selectivity keys for every stage of every query.
+            stats::clear();
+            for q in queries {
+                assert_equiv(&db, &reg, q, PlannerMode::CostBased);
+            }
+            // Adversarially scramble every observed statistic, plus a few
+            // fan keys the pass may not have touched.
+            for (key, _, _) in stats::snapshot() {
+                stats::set(&key, g.range(0u64..10_000) as f64 / 10.0);
+            }
+            for a in 0..8u32 {
+                for d in ["f", "r"] {
+                    stats::set(&format!("oql.fan.a{a}.{d}"), g.range(0u64..500) as f64 / 10.0);
+                }
+            }
+            // Misled plans must still agree with the interpreter.
+            for q in queries {
+                assert_equiv(&db, &reg, q, PlannerMode::CostBased);
+            }
+        }
+        stats::clear();
+    });
+}
+
+/// Incremental forward maintenance runs delta evaluations through the
+/// cached compiled plan; a full run under `DOOD_EXEC=interp` must land on
+/// the same materialized subdatabases.
+#[test]
+fn delta_maintenance_compiled_equals_interp() {
+    let _g = lock();
+    check("delta_maintenance_compiled_equals_interp", CASES, |g| {
+        let seed = g.range(0u64..100);
+        let ops = g.vec(2..8, |g| g.range(0usize..64));
+        let run = |exec: &str| {
+            std::env::set_var("DOOD_EXEC", exec);
+            let (db, _) = company::populate(company::CompanySize::small(), seed);
+            let mut e = RuleEngine::new(db);
+            e.add_rule("Ra", "if context Employee * Department then REa (Employee, Department)")
+                .unwrap();
+            e.add_rule("Rb", "if context REa:Employee * Project then REb (Employee, Project)")
+                .unwrap();
+            let subdbs = ["REa", "REb"];
+            for s in subdbs {
+                e.set_policy(s, EvalPolicy::PreEvaluated);
+            }
+            e.set_incremental(true);
+            for s in subdbs {
+                e.subdb(s).unwrap();
+            }
+            for (i, &k) in ops.iter().enumerate() {
+                let db = e.db_mut();
+                let employee = db.schema().class_by_name("Employee").unwrap();
+                let project = db.schema().class_by_name("Project").unwrap();
+                let assigned = db.schema().own_link_by_name(employee, "AssignedTo").unwrap();
+                let emp = db.extent(employee).nth(k % db.extent_size(employee)).unwrap();
+                let p = db.new_object(project).unwrap();
+                db.set_attr(p, "budget", Value::Int(i as i64)).unwrap();
+                db.associate(assigned, emp, p).unwrap();
+                e.propagate().unwrap();
+            }
+            let out: Vec<_> =
+                subdbs.iter().map(|s| e.registry().subdb(s).unwrap().to_vec()).collect();
+            std::env::remove_var("DOOD_EXEC");
+            out
+        };
+        assert_eq!(run("compiled"), run("interp"), "delta maintenance diverged");
+    });
+}
+
+/// Golden plans for the E1/E6/E7 context shapes over the university
+/// schema, with the stats registry cleared (pure schema-derived
+/// estimates). A planner change that re-orders these joins shows up here
+/// as a readable diff, with `doodprof --plan` as the investigation tool.
+#[test]
+fn golden_plans_e1_e6_e7() {
+    let _g = lock();
+    stats::clear();
+    let db = university::populate(university::Size::small(), 42);
+    let reg = SubdbRegistry::new();
+    let plan_of = |query: &str| {
+        let expr = Parser::parse_context_expr(query).unwrap();
+        let resolved = resolve_context(&expr, db.schema(), &reg).unwrap();
+        Evaluator::new(&resolved, &db, &reg).unwrap().plan_handle().describe()
+    };
+    let e1 = plan_of("Teacher * Section * Course");
+    let e6 = plan_of("{Teacher * Section} * Course");
+    let e7 = plan_of("Department * Course * Section * Student");
+    stats::clear();
+    assert_eq!(
+        e1,
+        "plan mode=cost\n  span [0,3) anchor=Course cost=29 rows=12\n    scan Course est=8\n    step Course->Section est=9\n    step Section->Teacher est=12\n",
+        "E1 golden plan drifted:\n{e1}"
+    );
+    // The brace group compiles a second, prefix-only span: the retention
+    // pass evaluates `{Teacher * Section}` on its own to decide which
+    // partial patterns survive subsumption.
+    assert_eq!(
+        e6,
+        "plan mode=cost\n  span [0,3) anchor=Course cost=29 rows=12\n    scan Course est=8\n    step Course->Section est=9\n    step Section->Teacher est=12\n  span [0,2) anchor=Teacher cost=21 rows=12\n    scan Teacher est=9\n    step Teacher->Section est=12\n",
+        "E6 golden plan drifted:\n{e6}"
+    );
+    assert_eq!(
+        e7,
+        "plan mode=cost\n  span [0,4) anchor=Department cost=70 rows=51\n    scan Department est=2\n    step Department->Course est=8\n    step Course->Section est=9\n    step Section->Student est=51\n",
+        "E7 golden plan drifted:\n{e7}"
+    );
+}
