@@ -1,0 +1,213 @@
+//! E18 — compiled closure kernels (DESIGN.md §11): the frontier-parallel
+//! semi-naive fixpoint against the legacy recursive closure interpreter on
+//! two cold workloads (the deep social follow-graph and the paper's
+//! R6-style five-slot closure context), and provenance-carrying
+//! incremental fixpoint maintenance against full recomputation on an
+//! update-heavy follow-graph schedule.
+//!
+//! Afterwards reads back this run's medians and prints two verdicts:
+//!
+//! * **closure speedup** — the compiled kernel must be ≥ 1.5× faster than
+//!   the interpreter on both cold workloads;
+//! * **delta ratio** — maintaining the materialized closure through a
+//!   10-round update schedule must be ≥ 5× faster than recomputing the
+//!   fixpoint per propagate.
+//!
+//! Prints `PASS`/`WARN`; exits nonzero on a miss only under
+//! `DOOD_BENCH_STRICT=1` (shared hosts are noisy, so the hard gate is
+//! opt-in for `scripts/ci.sh` and `scripts/bench_snapshot.sh`).
+
+use dood_bench::harness::{fmt_ns, Harness, Record};
+use dood_core::subdb::SubdbRegistry;
+use dood_core::value::Value;
+use dood_oql::parser::Parser;
+use dood_oql::resolve::resolve_context;
+use dood_oql::{Evaluator, ExecMode};
+use dood_rules::{EvalPolicy, RuleEngine};
+use dood_store::Database;
+use dood_workload::social::{self, SocialShape};
+use dood_workload::university;
+use std::path::PathBuf;
+
+/// Required compiled-over-interpreted speedup on both cold workloads.
+const SPEEDUP_BAR: f64 = 1.5;
+
+/// Required delta-over-recompute speedup on the update schedule.
+const DELTA_BAR: f64 = 5.0;
+
+/// University population scale for the R6-style closure context.
+const FACTOR: usize = 8;
+
+/// Update rounds per timed maintenance iteration.
+const ROUNDS: usize = 10;
+
+/// The paper's R6 shape: a five-slot chain closed over `Student ^*`.
+const R6: &str = "Grad * TA * Teacher * Section * Student ^*";
+
+/// The deep-closure shape ROADMAP item 5 asks for: wide frontiers (high
+/// fan-out), long chains (many fixpoint rounds), and follow-back cycles
+/// (per-chain cycle cuts).
+fn deep_shape() -> SocialShape {
+    SocialShape { influencers: 4, fanout: 8, depth: 24, cycle_per_mille: 250 }
+}
+
+/// A ready-to-run closure evaluator under one execution mode.
+fn evaluator<'a>(
+    db: &'a Database,
+    resolved: &'a dood_oql::resolve::ResolvedContext,
+    reg: &'a SubdbRegistry,
+    exec: ExecMode,
+) -> Evaluator<'a> {
+    Evaluator::new(resolved, db, reg).unwrap().with_exec(exec)
+}
+
+/// Attach one new follower to a rotating existing person: the smallest
+/// dirty set a closure delta can localize around.
+fn social_update(e: &mut RuleEngine, i: usize) {
+    let db = e.db_mut();
+    let person = db.schema().class_by_name("Person").unwrap();
+    let follows = db.schema().own_link_by_name(person, "Follows").unwrap();
+    let n = db.extent_size(person);
+    let from = db.extent(person).nth((i * 13) % n).unwrap();
+    let p = db.new_object(person).unwrap();
+    db.set_attr(p, "pname", Value::str(format!("new-{i}"))).unwrap();
+    db.set_attr(p, "score", Value::Int((i % 100) as i64)).unwrap();
+    db.associate(follows, from, p).unwrap();
+}
+
+/// The materialized reachability closure over the deep follow graph, with
+/// one warm-up update+propagate round so the timed iterations measure
+/// steady-state maintenance, not cache seeding.
+fn reach_engine(incremental: bool) -> RuleEngine {
+    let (db, _) = social::build_graph(deep_shape(), 42);
+    let mut e = RuleEngine::new(db);
+    e.add_rule("RS", "if context Person ^* then Reach (Person, Person_*)").unwrap();
+    e.set_policy("Reach", EvalPolicy::PreEvaluated);
+    e.set_incremental(incremental);
+    e.subdb("Reach").unwrap();
+    social_update(&mut e, 0);
+    e.propagate().unwrap();
+    e
+}
+
+/// `ROUNDS` update+propagate rounds; returns the final closure size
+/// (keeps the optimizer honest).
+fn update_workload(e: &mut RuleEngine) -> usize {
+    for i in 0..ROUNDS {
+        social_update(e, i + 1);
+        e.propagate().unwrap();
+    }
+    e.registry().subdb("Reach").unwrap().len()
+}
+
+fn main() {
+    let mut h = Harness::new("e18_closure");
+
+    // Cold fixpoints: compiled kernel vs legacy interpreter, results
+    // asserted identical before timing.
+    let (social_db, _) = social::build_graph(deep_shape(), 42);
+    let uni_db = university::populate(university::Size::scaled(FACTOR), 42);
+    for (name, db, query) in
+        [("social", &social_db, "Person ^*"), ("r6", &uni_db, R6)]
+    {
+        let reg = SubdbRegistry::new();
+        let expr = Parser::parse_context_expr(query).unwrap();
+        let resolved = resolve_context(&expr, db.schema(), &reg).unwrap();
+        let compiled = evaluator(db, &resolved, &reg, ExecMode::Compiled);
+        let interp = evaluator(db, &resolved, &reg, ExecMode::Interp);
+        assert_eq!(
+            compiled.eval("x").to_vec(),
+            interp.eval("x").to_vec(),
+            "{name}: compiled and interpreted closure must agree"
+        );
+        h.bench(&format!("compiled/{name}"), || compiled.eval("x").len());
+        h.bench(&format!("interp/{name}"), || interp.eval("x").len());
+    }
+
+    // Update-heavy maintenance: provenance-carrying delta closure vs
+    // recomputing the fixpoint per propagate.
+    h.bench_batched("delta/update_heavy", || reach_engine(true), |mut e| update_workload(&mut e));
+    h.bench_batched(
+        "recompute/update_heavy",
+        || reach_engine(false),
+        |mut e| update_workload(&mut e),
+    );
+
+    h.finish();
+    check_verdicts();
+}
+
+/// Read back this run's records and print the speedup and delta verdicts.
+fn check_verdicts() {
+    if std::env::var("DOOD_BENCH_SMOKE").is_ok_and(|v| v == "1") {
+        println!("# e18 verdicts skipped (smoke mode: timings are not meaningful)");
+        return;
+    }
+    let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_default();
+    let own_path = match std::env::var_os("DOOD_BENCH_JSON") {
+        Some(dir) => PathBuf::from(dir).join("BENCH_e18_closure.json"),
+        None => workspace.join("target/bench-json/BENCH_e18_closure.json"),
+    };
+    let med = |bench: &str| median_of(&own_path, "e18_closure", bench);
+    let mut strict_fail = false;
+
+    // Closure speedup: ≥ SPEEDUP_BAR on both cold workloads.
+    let mut fast = 0usize;
+    let mut seen = 0usize;
+    for name in ["social", "r6"] {
+        let (Some(c), Some(i)) = (med(&format!("compiled/{name}")), med(&format!("interp/{name}")))
+        else {
+            continue;
+        };
+        seen += 1;
+        let speedup = i / c;
+        println!(
+            "# e18 {name}: compiled {} vs interp {} ({speedup:.2}x)",
+            fmt_ns(c),
+            fmt_ns(i)
+        );
+        if speedup >= SPEEDUP_BAR {
+            fast += 1;
+        }
+    }
+    if seen == 2 {
+        let verdict = if fast >= 2 { "PASS" } else { "WARN" };
+        println!("# e18 closure speedup: {verdict} — {fast}/{seen} workloads ≥ {SPEEDUP_BAR}x");
+        strict_fail |= verdict == "WARN";
+    } else {
+        println!("# e18 closure speedup check skipped (missing records in {})", own_path.display());
+    }
+
+    // Delta ratio: maintenance ≥ DELTA_BAR× faster than recomputation.
+    match (med("delta/update_heavy"), med("recompute/update_heavy")) {
+        (Some(delta), Some(recompute)) => {
+            let ratio = recompute / delta;
+            let verdict = if ratio >= DELTA_BAR { "PASS" } else { "WARN" };
+            println!(
+                "# e18 delta ratio: {verdict} — delta {} vs recompute {} ({ratio:.2}x, bar {DELTA_BAR:.0}x)",
+                fmt_ns(delta),
+                fmt_ns(recompute)
+            );
+            strict_fail |= verdict == "WARN";
+        }
+        _ => println!("# e18 delta ratio check skipped (missing records in {})", own_path.display()),
+    }
+
+    if strict_fail && std::env::var("DOOD_BENCH_STRICT").is_ok_and(|v| v == "1") {
+        eprintln!("# e18: verdict missed under DOOD_BENCH_STRICT=1");
+        std::process::exit(1);
+    }
+}
+
+/// The first `group`/`bench` record's median in a JSON-lines bench file.
+fn median_of(path: &PathBuf, group: &str, bench: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines()
+        .filter_map(Record::from_json_line)
+        .find(|r| r.group == group && r.bench == bench)
+        .map(|r| r.median_ns)
+}

@@ -10,7 +10,7 @@ use crate::error::QueryError;
 use crate::plan::{CompileParts, CompiledContext, EdgeInfo, PlanInputs, SpanPlan};
 use crate::resolve::{REdgeKind, RSlot, ResolvedContext};
 use dood_core::error::ResolveError;
-use dood_core::fxhash::FxHashMap;
+use dood_core::fxhash::{FxHashMap, FxHashSet};
 use dood_core::ids::Oid;
 use dood_core::schema::{ResolvedAttr, ResolvedEdge};
 use dood_core::obs::{self, stats};
@@ -337,6 +337,38 @@ fn build_plan(
             }
         }
     }
+    // Cyclic contexts get a fixpoint stage: the cycle edge's fan-out
+    // estimate (observed stats when warm) drives the planner's view of
+    // rounds and reachable-set size.
+    let closure = ctx.closure.as_ref().map(|(spec, kind)| {
+        let (fan_key, fallback) = match kind {
+            REdgeKind::Base(ResolvedEdge::Assoc { assoc, forward, .. }) => {
+                let def = db.schema().assoc(*assoc);
+                let from_c = if *forward { def.from } else { def.to };
+                let links = db.link_count(*assoc) as f64;
+                (
+                    Some(fan_key_assoc(*assoc, *forward)),
+                    links / db.extent_size(from_c).max(1) as f64,
+                )
+            }
+            REdgeKind::Base(ResolvedEdge::Identity { .. }) => (None, 1.0),
+            REdgeKind::Derived { subdb, a, b } => {
+                let pairs = derived_adj
+                    .get(&usize::MAX)
+                    .map_or(0.0, |&(adj, _)| adj.pair_count() as f64);
+                (
+                    Some(format!("oql.fan.d.{subdb}.{a}.{b}")),
+                    pairs / cards[0].max(1.0),
+                )
+            }
+        };
+        let est_fan = fan_key.as_deref().and_then(stats::get).unwrap_or(fallback);
+        crate::plan::ClosureParts {
+            fan_key,
+            est_fan,
+            max_levels: spec.iterations.map(|i| i as usize + 1),
+        }
+    });
     let parts = CompileParts {
         preds,
         hints,
@@ -345,6 +377,7 @@ fn build_plan(
         edges,
         slot_names: ctx.slots.iter().map(|s| s.name.clone()).collect(),
         span_bounds: ctx.spans.clone(),
+        closure,
     };
     let inputs = PlanInputs { cards, sels, fwd_fan, rev_fan, constrained, hinted };
     crate::plan::compile(parts, inputs, mode)
@@ -1096,7 +1129,12 @@ impl<'a> Evaluator<'a> {
         sp.label(|| name.to_string());
         let sd = match &self.ctx.closure {
             None => self.eval_flat(name, &mut sp),
-            Some((spec, cycle)) => self.eval_closure(name, spec.iterations, cycle, &mut sp),
+            Some((spec, cycle)) => match self.exec {
+                ExecMode::Compiled if self.plan.closure.is_some() => {
+                    self.eval_closure_kernel(name, &mut sp).0
+                }
+                _ => self.eval_closure(name, spec.iterations, cycle, &mut sp),
+            },
         };
         sp.attr("rows_out", sd.len() as i64);
         sd
@@ -1187,6 +1225,28 @@ impl<'a> Evaluator<'a> {
         if obs::metrics_enabled() {
             obs::metrics::counter("oql.closure.steps").add(steps);
         }
+        let mut sd = Subdatabase::new(name, self.closure_intension(width));
+        for chain in chains {
+            let mut comps = vec![None; width];
+            for (i, oid) in chain.into_iter().enumerate() {
+                comps[i] = Some(oid);
+            }
+            sd.insert(ExtPattern::new(comps));
+        }
+        let before = sd.len();
+        sd.retain_maximal();
+        let subsumed = before - sd.len();
+        sp.attr("subsumed", subsumed as i64);
+        if subsumed > 0 && obs::metrics_enabled() {
+            obs::metrics::counter("oql.subsume.eliminated").add(subsumed as u64);
+        }
+        sd
+    }
+
+    /// The runtime intension of a closure result at the given width:
+    /// `C, C_1, …, C_{width-1}` over the cycle class (§5.2), consecutive
+    /// slots linked.
+    pub fn closure_intension(&self, width: usize) -> Intension {
         let cls = &self.ctx.slots[0];
         let slot_defs: Vec<SlotDef> = (0..width)
             .map(|lvl| SlotDef {
@@ -1205,23 +1265,325 @@ impl<'a> Evaluator<'a> {
         for i in 0..width.saturating_sub(1) {
             int.add_edge(i, i + 1);
         }
-        let mut sd = Subdatabase::new(name, int);
-        for chain in chains {
-            let mut comps = vec![None; width];
-            for (i, oid) in chain.into_iter().enumerate() {
-                comps[i] = Some(oid);
+        int
+    }
+
+    /// Hoisted `!`-stage candidate lists for the compiled chain span
+    /// (computed once per fixpoint, not once per frontier chunk).
+    fn closure_na(&self) -> Vec<Option<Vec<Oid>>> {
+        let chain = &self.plan.closure.as_ref().expect("closure plan").chain;
+        chain
+            .steps
+            .iter()
+            .map(|st| if st.nonassoc { Some(self.candidates(st.to_slot)) } else { None })
+            .collect()
+    }
+
+    /// Compute the successor lists for a batch of slot-0 nodes: run the
+    /// fused chain join with the batch as (unchecked) anchor candidates,
+    /// then the cycle step from each produced row's last slot, filtered by
+    /// slot 0's acceptance — exactly [`closure_step`](Self::closure_step)
+    /// per node, but one batched join instead of per-node re-joins.
+    /// Returns one `(node, sorted deduped successors)` entry per input
+    /// node, in input order.
+    fn closure_expand(&self, nodes: &[Oid], na: &[Option<Vec<Oid>>]) -> Vec<(Oid, Vec<Oid>)> {
+        let n = self.ctx.slots.len();
+        let (_, cycle) = self.ctx.closure.as_ref().expect("closure context");
+        let mut out: Vec<(Oid, Vec<Oid>)> =
+            nodes.iter().map(|&o| (o, Vec::new())).collect();
+        if n == 1 {
+            // Single-slot chain: the cycle step is the whole join.
+            for (o, succs) in out.iter_mut() {
+                succs.extend(
+                    self.step(usize::MAX, cycle, *o, true)
+                        .into_iter()
+                        .filter(|&s| self.accepts(0, s)),
+                );
             }
-            sd.insert(ExtPattern::new(comps));
+        } else {
+            let chain = &self.plan.closure.as_ref().expect("closure plan").chain;
+            let pos: FxHashMap<Oid, usize> =
+                nodes.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+            let (rows, _, _) = self.exec_span_rows(chain, nodes, na);
+            for row in rows {
+                let i = pos[&row[0]];
+                let last = row[n - 1];
+                for s in self.step(usize::MAX, cycle, last, true) {
+                    if self.accepts(0, s) {
+                        out[i].1.push(s);
+                    }
+                }
+            }
         }
-        let before = sd.len();
-        sd.retain_maximal();
-        let subsumed = before - sd.len();
-        sp.attr("subsumed", subsumed as i64);
-        if subsumed > 0 && obs::metrics_enabled() {
-            obs::metrics::counter("oql.subsume.eliminated").add(subsumed as u64);
+        for (_, succs) in out.iter_mut() {
+            succs.sort_unstable();
+            succs.dedup();
         }
+        out
+    }
+
+    /// Batched successor computation with pool dispatch (chunk-order merge
+    /// keeps output independent of thread count). Nodes must be live
+    /// instances of the cycle class; exposed for incremental maintenance.
+    pub fn closure_succ_batch(&self, nodes: &[Oid]) -> Vec<(Oid, Vec<Oid>)> {
+        if nodes.is_empty() {
+            return Vec::new();
+        }
+        let na = self.closure_na();
+        if self.pool.is_sequential(nodes.len()) {
+            self.closure_expand(nodes, &na)
+        } else {
+            self.pool.par_chunk_map(nodes, |c| self.closure_expand(c, &na)).concat()
+        }
+    }
+
+    /// The frontier-parallel semi-naive fixpoint: starting from the slot-0
+    /// candidate set, expand only the nodes discovered in the previous
+    /// round (the delta frontier) until no new nodes appear — or until the
+    /// `^N` round bound, past which no successor list can be consulted (a
+    /// node at chain position `p` has fixpoint depth ≤ `p`, and the DFS
+    /// only reads successors at positions ≤ `N - 1`).
+    fn closure_fixpoint(&self, state: &mut ClosureState) {
+        let plan = self.plan.closure.as_ref().expect("closure plan");
+        let mut tsp = obs::trace::span("oql.closure");
+        tsp.attr("est_rounds", plan.est_rounds.round() as i64);
+        tsp.attr("est_reach", plan.est_reach.round() as i64);
+        let na = self.closure_na();
+        state.roots = self.candidates(0);
+        tsp.attr("roots", state.roots.len() as i64);
+        let mut frontier: Vec<Oid> = state.roots.clone();
+        let mut visited: FxHashSet<Oid> = frontier.iter().copied().collect();
+        let mut rounds: u64 = 0;
+        let mut steps: u64 = 0;
+        while !frontier.is_empty() {
+            if plan.max_levels.is_some_and(|m| rounds >= m.saturating_sub(1) as u64) {
+                break;
+            }
+            if obs::metrics_enabled() {
+                obs::metrics::histogram("oql.closure.frontier").record(frontier.len() as u64);
+            }
+            let results = if self.pool.is_sequential(frontier.len()) {
+                self.closure_expand(&frontier, &na)
+            } else {
+                self.pool
+                    .par_chunk_map(&frontier, |c| self.closure_expand(c, &na))
+                    .concat()
+            };
+            steps += frontier.len() as u64;
+            let mut next: Vec<Oid> = Vec::new();
+            for (node, succs) in results {
+                for &s in &succs {
+                    if visited.insert(s) {
+                        next.push(s);
+                    }
+                }
+                state.succ.insert(node, succs);
+            }
+            next.sort_unstable();
+            if tsp.on() {
+                let mut c = obs::trace::span("oql.closure.round");
+                c.attr("round", rounds as i64);
+                c.attr("frontier", frontier.len() as i64);
+                c.attr("new", next.len() as i64);
+            }
+            frontier = next;
+            rounds += 1;
+        }
+        tsp.attr("rounds", rounds as i64);
+        tsp.attr("reach", visited.len() as i64);
+        tsp.attr("steps", steps as i64);
+        if obs::metrics_enabled() {
+            obs::metrics::counter("oql.closure.steps").add(steps);
+        }
+    }
+
+    /// DFS the successor relation from `roots`, emitting the maximal
+    /// root-to-leaf chains (per-path cycle cut, `^N` length cap). Nodes
+    /// missing from `succ` are computed on demand (and recorded) — the
+    /// incremental path reuses this after pruning stale entries.
+    pub fn closure_chains(
+        &self,
+        roots: &[Oid],
+        succ: &mut FxHashMap<Oid, Vec<Oid>>,
+    ) -> Vec<Vec<Oid>> {
+        let max_levels = self
+            .ctx
+            .closure
+            .as_ref()
+            .and_then(|(spec, _)| spec.iterations.map(|i| i as usize + 1));
+        let mut chains = Vec::new();
+        let mut path: Vec<Oid> = Vec::new();
+        for &root in roots {
+            self.dfs_chains(root, &mut path, succ, max_levels, &mut chains);
+            debug_assert!(path.is_empty());
+        }
+        chains
+    }
+
+    fn dfs_chains(
+        &self,
+        node: Oid,
+        path: &mut Vec<Oid>,
+        succ: &mut FxHashMap<Oid, Vec<Oid>>,
+        max_levels: Option<usize>,
+        out: &mut Vec<Vec<Oid>>,
+    ) {
+        path.push(node);
+        let at_cap = max_levels.is_some_and(|m| path.len() >= m);
+        let nexts: Vec<Oid> = if at_cap {
+            Vec::new()
+        } else {
+            if !succ.contains_key(&node) {
+                let s = self.closure_step(node);
+                succ.insert(node, s);
+            }
+            succ[&node].iter().copied().filter(|n| !path.contains(n)).collect()
+        };
+        if nexts.is_empty() {
+            out.push(path.clone());
+        } else {
+            for n in nexts {
+                self.dfs_chains(n, path, succ, max_levels, out);
+            }
+        }
+        path.pop();
+    }
+
+    /// Materialize closure chains into a subdatabase: bulk sorted pattern
+    /// load, **no subsumption pass** — a chain is emitted only when its tip
+    /// has no admissible successor, so no emitted chain is a positional
+    /// prefix of another from the same root, and chains from different
+    /// roots differ at slot 0. (The legacy path keeps `retain_maximal`; the
+    /// equivalence tests pin identical output.)
+    pub fn closure_subdb(&self, name: &str, chains: Vec<Vec<Oid>>) -> Subdatabase {
+        let width = chains.iter().map(Vec::len).max().unwrap_or(1);
+        let mut sd = Subdatabase::new(name, self.closure_intension(width));
+        let pats: Vec<ExtPattern> = chains
+            .into_iter()
+            .map(|chain| {
+                let mut comps = vec![None; width];
+                for (i, oid) in chain.into_iter().enumerate() {
+                    comps[i] = Some(oid);
+                }
+                ExtPattern::new(comps)
+            })
+            .collect();
+        sd.set_patterns(pats);
         sd
     }
+
+    /// The compiled closure kernel (DESIGN.md §11): frontier fixpoint over
+    /// the successor relation, then one DFS emitting maximal chains.
+    /// Returns the provenance state alongside the result so rule caches
+    /// can maintain the fixpoint incrementally.
+    fn eval_closure_kernel(
+        &self,
+        name: &str,
+        sp: &mut obs::trace::Span,
+    ) -> (Subdatabase, ClosureState) {
+        let mut state = ClosureState::default();
+        self.closure_fixpoint(&mut state);
+        sp.attr("roots", state.roots.len() as i64);
+        let roots = std::mem::take(&mut state.roots);
+        let chains = self.closure_chains(&roots, &mut state.succ);
+        state.roots = roots;
+        state.width = chains.iter().map(Vec::len).max().unwrap_or(1);
+        sp.attr("chains", chains.len() as i64);
+        sp.attr("width", state.width as i64);
+        let sd = self.closure_subdb(name, chains);
+        (sd, state)
+    }
+
+    /// Evaluate a closure context through the compiled kernel, returning
+    /// the result *and* the successor-relation provenance
+    /// ([`ClosureState`]) that `rules::maintain` caches for incremental
+    /// fixpoint maintenance. Always uses the compiled kernel (the
+    /// `DOOD_EXEC` ablation only steers [`eval`](Self::eval)).
+    pub fn eval_closure_state(&self, name: &str) -> (Subdatabase, ClosureState) {
+        let mut sp = obs::trace::span("oql.context");
+        sp.label(|| name.to_string());
+        let (sd, state) = self.eval_closure_kernel(name, &mut sp);
+        sp.attr("rows_out", sd.len() as i64);
+        (sd, state)
+    }
+
+    /// Whether `oid` can currently seed a chain (live instance of the
+    /// cycle class passing slot 0's membership + condition).
+    pub fn closure_root_ok(&self, oid: Oid) -> bool {
+        self.live_in_slot(0, oid) && self.accepts(0, oid)
+    }
+
+    /// The slot-0 nodes whose successor lists may differ from a cached
+    /// fixpoint, given the dirty object set: for each chain position `k`,
+    /// join the chain prefix `[0, k+1)` backward from the dirty objects
+    /// that can bind position `k` (anchor unchecked — a flipped condition
+    /// or dead membership must still tear down old derivations), plus, at
+    /// the last position, the reverse-cycle predecessors of dirty slot-0
+    /// objects (an acceptance flip on `s` changes every list that reaches
+    /// `s` over the cycle edge). Completeness follows from the leftmost
+    /// change position of any vanished or appearing derivation row: all
+    /// positions strictly left of it are intact in current data, so the
+    /// backward join from the dirty witness reaches the origin.
+    pub fn closure_affected(&self, dirty: &BTreeSet<Oid>) -> Vec<Oid> {
+        let n = self.ctx.slots.len();
+        let (_, cycle) = self.ctx.closure.as_ref().expect("closure context");
+        let mut out: Vec<Oid> = Vec::new();
+        for k in 0..n {
+            let mut anchor: Vec<Oid> =
+                dirty.iter().copied().filter(|&o| self.live_in_slot(k, o)).collect();
+            if k == n - 1 {
+                let rev = dirty
+                    .iter()
+                    .copied()
+                    .filter(|&o| self.live_in_slot(0, o))
+                    .flat_map(|o| self.step(usize::MAX, cycle, o, false))
+                    .filter(|&l| self.live_in_slot(n - 1, l));
+                anchor.extend(rev);
+                anchor.sort_unstable();
+                anchor.dedup();
+            }
+            if anchor.is_empty() {
+                continue;
+            }
+            if k == 0 {
+                out.extend(anchor);
+                continue;
+            }
+            let spp = crate::plan::plan_span_anchored(
+                0,
+                k + 1,
+                k,
+                &self.plan.inputs,
+                &self.plan.edges,
+            );
+            let na: Vec<Option<Vec<Oid>>> = spp
+                .steps
+                .iter()
+                .map(|st| if st.nonassoc { Some(self.candidates(st.to_slot)) } else { None })
+                .collect();
+            let (rows, _, _) = self.exec_span_rows(&spp, &anchor, &na);
+            out.extend(rows.into_iter().map(|r| r[0]));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// The successor relation a closure fixpoint computed, exposed as
+/// provenance for incremental maintenance: `rules::maintain` caches it per
+/// closure rule and extends/prunes it on deltas instead of recomputing the
+/// fixpoint (DESIGN.md §11).
+#[derive(Debug, Clone, Default)]
+pub struct ClosureState {
+    /// Per expanded node: its sorted, deduped successor list (the chain
+    /// join from the node plus the cycle step, slot-0-filtered). Nodes
+    /// with no successors carry an empty list.
+    pub succ: FxHashMap<Oid, Vec<Oid>>,
+    /// The root set the chains started from (sorted slot-0 candidates).
+    pub roots: Vec<Oid>,
+    /// The result's intension width (longest chain).
+    pub width: usize,
 }
 
 /// Invert a resolved edge for right-to-left traversal.

@@ -28,8 +28,8 @@ pub mod token;
 pub mod wherec;
 
 pub use engine::{eval_context, Oql, QueryOutput};
-pub use eval::{Evaluator, ExecMode, PlannerMode};
-pub use plan::CompiledContext;
+pub use eval::{ClosureState, Evaluator, ExecMode, PlannerMode};
+pub use plan::{ClosurePlan, CompiledContext};
 pub use error::{ParseError, QueryError};
 pub use parser::Parser;
 pub use table::Table;

@@ -151,6 +151,37 @@ pub struct PlanStep {
     pub cross: bool,
 }
 
+/// The compiled fixpoint stage for a cyclic (`^*`) context: the full
+/// chain span lowered once, anchored at slot 0 so frontier batches seed it
+/// directly, plus the cost-model view of the fixpoint (cycle fan-out from
+/// the EWMA stats, estimated rounds and reachable-set size). Executed by
+/// the frontier-parallel semi-naive kernel in `eval` (DESIGN.md §11).
+#[derive(Debug, Clone)]
+pub struct ClosurePlan {
+    /// The chain join `[0, n)` anchored at slot 0 — each fixpoint round
+    /// runs it with the frontier as the (unchecked) anchor candidates.
+    pub chain: SpanPlan,
+    /// Estimated per-node fan-out of the cycle edge (observed stats when
+    /// warm, link-count fallback otherwise).
+    pub est_fan: f64,
+    /// Estimated fixpoint rounds until the frontier drains.
+    pub est_rounds: f64,
+    /// Estimated reachable-set size (capped at slot 0's effective extent).
+    pub est_reach: f64,
+    /// Stats key feeding `est_fan` (`None` for identity cycle edges).
+    pub fan_key: Option<String>,
+    /// `^N` bound as a chain-length cap in slots (`N + 1`); `None` = until
+    /// Null.
+    pub max_levels: Option<usize>,
+}
+
+/// What the evaluator hands [`compile`] to build a [`ClosurePlan`].
+pub(crate) struct ClosureParts {
+    pub fan_key: Option<String>,
+    pub est_fan: f64,
+    pub max_levels: Option<usize>,
+}
+
 /// The compiled join pipeline for one retention span `[lo, hi)`.
 #[derive(Debug, Clone)]
 pub struct SpanPlan {
@@ -183,6 +214,8 @@ pub struct CompiledContext {
     /// The plan per retention span (same order as the resolved context's
     /// span list: full span first).
     pub spans: Vec<SpanPlan>,
+    /// The fixpoint stage for cyclic (`^*`) contexts.
+    pub closure: Option<ClosurePlan>,
     /// The cost-model inputs the spans were ordered with.
     pub inputs: PlanInputs,
     /// The planner mode the spans were ordered with.
@@ -198,6 +231,7 @@ pub(crate) struct CompileParts {
     pub edges: Vec<EdgeInfo>,
     pub slot_names: Vec<String>,
     pub span_bounds: Vec<(usize, usize)>,
+    pub closure: Option<ClosureParts>,
 }
 
 /// Compile: order every retention span under `mode` with `inputs`.
@@ -206,11 +240,15 @@ pub(crate) fn compile(
     inputs: PlanInputs,
     mode: PlannerMode,
 ) -> CompiledContext {
-    let spans = parts
+    let spans: Vec<SpanPlan> = parts
         .span_bounds
         .iter()
         .map(|&(lo, hi)| plan_span(lo, hi, &inputs, &parts.edges, mode))
         .collect();
+    let closure = parts.closure.map(|c| {
+        let n = parts.slot_names.len();
+        plan_closure(c, n, &inputs, &parts.edges)
+    });
     CompiledContext {
         preds: parts.preds,
         hints: parts.hints,
@@ -219,8 +257,38 @@ pub(crate) fn compile(
         edges: parts.edges,
         slot_names: parts.slot_names,
         spans,
+        closure,
         inputs,
         mode,
+    }
+}
+
+/// Build the fixpoint stage for a cyclic context: the chain span is
+/// anchored at slot 0 (the frontier seeds it), rounds and reach are
+/// estimated from the cycle fan-out. A fan ≤ 1 means chains, not trees —
+/// rounds scale with the extent; a fan > 1 saturates logarithmically.
+fn plan_closure(
+    parts: ClosureParts,
+    n: usize,
+    inputs: &PlanInputs,
+    edges: &[EdgeInfo],
+) -> ClosurePlan {
+    let chain = plan_span_anchored(0, n, 0, inputs, edges);
+    let reach_cap = inputs.eff(0).max(1.0);
+    let est_rounds = match parts.max_levels {
+        Some(m) => (m.saturating_sub(1) as f64).max(1.0),
+        None if parts.est_fan > 1.05 => {
+            (reach_cap.ln() / parts.est_fan.ln()).ceil().max(1.0)
+        }
+        None => reach_cap,
+    };
+    ClosurePlan {
+        chain,
+        est_fan: parts.est_fan,
+        est_rounds,
+        est_reach: reach_cap,
+        fan_key: parts.fan_key,
+        max_levels: parts.max_levels,
     }
 }
 
@@ -239,6 +307,12 @@ impl CompiledContext {
             .into_iter()
             .map(|(lo, hi)| plan_span(lo, hi, &self.inputs, &self.edges, mode))
             .collect();
+        // The closure chain's anchor is structural (the frontier binds
+        // slot 0), so only its cost annotations refresh.
+        let n = self.slot_names.len();
+        if let Some(c) = &mut self.closure {
+            c.chain = plan_span_anchored(0, n, 0, &self.inputs, &self.edges);
+        }
     }
 
     /// An ad-hoc plan for a delta evaluation of span `[lo, hi)` with
@@ -293,6 +367,19 @@ impl CompiledContext {
                     st.est_rows
                 ));
             }
+        }
+        if let Some(c) = &self.closure {
+            out.push_str(&format!(
+                "  closure ^{} cycle={} fan={:.2} est_rounds={:.0} est_reach={:.0}\n",
+                match c.max_levels {
+                    Some(m) => (m - 1).to_string(),
+                    None => "*".to_string(),
+                },
+                self.slot_names[0],
+                c.est_fan,
+                c.est_rounds,
+                c.est_reach
+            ));
         }
         out
     }

@@ -20,8 +20,10 @@
 //!    negation-through-derivation (`E015`).
 //! 4. **Lints** — dead rules (`W102`), duplicate rule bodies (`W103`),
 //!    Null-propagation from `{...}` brace retention into `=` comparisons
-//!    (`W104`), and `!` edges whose best static plan is still an
-//!    unconstrained cross-product stage (`W106`). A strategy-aware lint,
+//!    (`W104`), `!` edges whose best static plan is still an
+//!    unconstrained cross-product stage (`W106`), and unbounded `^*`
+//!    closures whose cycle-back edge re-traverses an association already
+//!    on the chain (`W107`). A strategy-aware lint,
 //!    `W105` (a forward rule reading a
 //!    backward-derived source, the paper's §6 staleness hazard), runs
 //!    separately via [`lint_forward_reads_backward`] because it needs the
@@ -46,7 +48,7 @@ use dood_core::ids::ClassId;
 use dood_core::schema::Schema;
 use dood_core::value::DType;
 use dood_oql::ast::{
-    AggFunc, ClassRef, CmpOp, CmpRhs, Item, Literal, PatOp, Pred, Seq, WhereCond,
+    AggFunc, ClassRef, ClosureSpec, CmpOp, CmpRhs, Item, Literal, PatOp, Pred, Seq, WhereCond,
 };
 
 /// Analyze a program against a schema. `external` names subdatabases that
@@ -226,7 +228,7 @@ impl<'a> Analyzer<'a> {
         for q in &self.prog.queries {
             let sh = shape(&q.query.context.seq);
             let occs = self.resolve_occurrences(&sh, &q.occurrences, &q.name);
-            self.check_edges(&sh, &occs, q.query.context.closure.is_some(), &q.name);
+            self.check_edges(&sh, &occs, q.query.context.closure.as_ref(), &q.name);
             self.check_wheres(&q.query.where_, &sh, &occs, &q.wheres, &q.name, true);
         }
         self.check_exports();
@@ -371,7 +373,7 @@ impl<'a> Analyzer<'a> {
         let sh = shape(&rule.context.seq);
         let occs = self.resolve_occurrences(&sh, &pr.spans.occurrences, &name);
         let closed = rule.context.closure.is_some();
-        self.check_edges(&sh, &occs, closed, &name);
+        self.check_edges(&sh, &occs, rule.context.closure.as_ref(), &name);
         let target_use = self.check_targets(pr, &occs, closed);
         self.check_safety(pr, &sh, &occs, closed, &target_use);
         self.check_wheres(&rule.where_, &sh, &occs, &pr.spans.wheres, &name, false);
@@ -552,11 +554,18 @@ impl<'a> Analyzer<'a> {
     }
 
     /// Check every association-pattern edge (E004/E005), including the
-    /// closure's cycle-back edge, and lint unavoidable cross products
-    /// (W106).
-    fn check_edges(&mut self, sh: &Shape<'_>, occs: &[OccInfo], closed: bool, owner: &str) {
+    /// closure's cycle-back edge; lint unavoidable cross products (W106)
+    /// and unbounded closures that re-traverse a chain association (W107).
+    fn check_edges(
+        &mut self,
+        sh: &Shape<'_>,
+        occs: &[OccInfo],
+        closure: Option<&ClosureSpec>,
+        owner: &str,
+    ) {
+        let mut chain_assocs: Vec<dood_core::ids::AssocId> = Vec::new();
         for i in 0..sh.ops.len() {
-            self.check_edge(&occs[i], &occs[i + 1], owner);
+            chain_assocs.extend(self.check_edge(&occs[i], &occs[i + 1], owner));
             // W106: a `!` edge is evaluated as a complement scan of the
             // target slot's extent. The planner may direct it either way,
             // so one conditioned (or subdatabase-restricted) endpoint is
@@ -581,28 +590,61 @@ impl<'a> Analyzer<'a> {
                 }
             }
         }
-        if closed && occs.len() >= 2 {
-            let (last, first) = (occs.len() - 1, 0);
-            self.check_edge(&occs[last], &occs[first], owner);
-        } else if closed && occs.len() == 1 {
-            self.check_edge(&occs[0], &occs[0], owner);
+        if let Some(spec) = closure {
+            if occs.len() >= 2 {
+                let (last, first) = (occs.len() - 1, 0);
+                let back = self.check_edge(&occs[last], &occs[first], owner);
+                // W107: an unbounded closure whose cycle-back edge
+                // re-traverses an association already on the chain walks a
+                // schema-cyclic loop — any data cycle through it multiplies
+                // the emitted chains, bounded only by the per-chain cycle
+                // cut. A `^N` bound caps the fixpoint instead.
+                if let Some(back) = back {
+                    if spec.iterations.is_none() && chain_assocs.contains(&back) {
+                        self.warn(
+                            "W107",
+                            format!(
+                                "unbounded `^*` re-traverses association `{}` already \
+                                 on the chain: chain count is limited only by the \
+                                 cycle cut; consider a `^N` iteration bound",
+                                self.schema.assoc(back).name
+                            ),
+                            occs[first].span,
+                            owner,
+                        );
+                    }
+                }
+            } else if occs.len() == 1 {
+                self.check_edge(&occs[0], &occs[0], owner);
+            }
         }
     }
 
-    fn check_edge(&mut self, a: &OccInfo, b: &OccInfo, owner: &str) {
+    /// Returns the ordinary association the edge resolved to, when it did
+    /// (identity edges, derived-subdb edges, and unresolved classes yield
+    /// `None`).
+    fn check_edge(
+        &mut self,
+        a: &OccInfo,
+        b: &OccInfo,
+        owner: &str,
+    ) -> Option<dood_core::ids::AssocId> {
         // Two slots of the same derived subdatabase are linked by the
         // derived direct associations; runtime resolution handles them.
         if a.subdb.is_some() && a.subdb == b.subdb {
-            return;
+            return None;
         }
-        let (Some(ca), Some(cb)) = (a.base, b.base) else { return };
+        let (Some(ca), Some(cb)) = (a.base, b.base) else { return None };
         match self.schema.resolve_edge(ca, cb) {
-            Ok(_) => {}
+            Ok(dood_core::schema::ResolvedEdge::Assoc { assoc, .. }) => Some(assoc),
+            Ok(_) => None,
             Err(e @ ResolveError::Ambiguous { .. }) => {
                 self.err("E004", e.to_string(), a.span, owner);
+                None
             }
             Err(e) => {
                 self.err("E005", e.to_string(), a.span, owner);
+                None
             }
         }
     }

@@ -155,9 +155,10 @@ impl RuleEngine {
     /// Enable/disable semi-naive incremental forward maintenance.
     /// Incremental mode (the default) caches each rule's IF-context, WHERE
     /// verdicts and derivation counts and, on update, re-derives only the
-    /// patterns containing touched objects; closure rules fall back to full
-    /// re-derivation. Disabling gives the full-recompute ablation baseline
-    /// (E11/E16).
+    /// patterns containing touched objects; closure rules carry the
+    /// fixpoint's successor-relation provenance and re-derive only the
+    /// chains of affected roots (DESIGN.md §11). Disabling gives the
+    /// full-recompute ablation baseline (E11/E16).
     pub fn set_incremental(&mut self, on: bool) {
         self.incremental = on;
         if !on {
@@ -864,11 +865,19 @@ impl RuleEngine {
                         let out =
                             delta_apply(rule, &self.db, &self.registry, cache, &step_dirty)?;
                         let (mut sd, derived_at) = state.entry.take().expect("checked above");
-                        for p in &out.removed {
-                            sd.remove(p);
-                        }
-                        for p in &out.inserted {
-                            sd.insert(p.clone());
+                        if sd.intension.width() != cache.target.intension.width() {
+                            // A closure delta that changed the longest
+                            // chain re-shaped the target intension; edit
+                            // replay cannot cross that, so take the
+                            // maintained copy wholesale.
+                            sd = cache.target.clone();
+                        } else {
+                            for p in &out.removed {
+                                sd.remove(p);
+                            }
+                            for p in &out.inserted {
+                                sd.insert(p.clone());
+                            }
                         }
                         debug_assert!(
                             sd.patterns().eq(cache.target.patterns()),

@@ -3,9 +3,10 @@
 //! Workload generators for the `dood` reproduction: the paper's university
 //! schema and population (Fig. 2.1), the exact instances of its worked
 //! examples (Fig. 3.1b, §5.1), a CAD bill-of-materials domain for
-//! transitive-closure workloads, and a company domain for chaining and
-//! control-strategy experiments. All generators are deterministic in their
-//! seed.
+//! transitive-closure workloads, a company domain for chaining and
+//! control-strategy experiments, and a social follow-graph domain for
+//! deep-closure reachability under heavy fan-out. All generators are
+//! deterministic in their seed.
 
 #![warn(missing_docs)]
 
@@ -13,4 +14,5 @@ pub mod cad;
 pub mod company;
 pub mod figures;
 pub mod programs;
+pub mod social;
 pub mod university;

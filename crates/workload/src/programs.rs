@@ -99,9 +99,25 @@ query QX:
 export Explosion
 ";
 
+/// The social follow-graph reachability program: the deep-closure scenario
+/// of ROADMAP item 5, feeding the E18 closure-kernel benchmark.
+pub const SOCIAL: &str = "\
+-- Social follow-graph reachability (deep closure under heavy fan-out).
+schema builtin social
+
+rule RS:
+  if context Person ^*
+  then Reach (Person, Person_*)
+
+query QS:
+  context Person [score >= 50] display
+
+export Reach
+";
+
 /// All built-in programs as `(name, text)` pairs.
 pub fn all() -> Vec<(&'static str, &'static str)> {
-    vec![("university", UNIVERSITY), ("company", COMPANY), ("cad", CAD)]
+    vec![("university", UNIVERSITY), ("company", COMPANY), ("cad", CAD), ("social", SOCIAL)]
 }
 
 /// Resolve a `schema builtin <name>` reference to a workload schema.
@@ -110,6 +126,7 @@ pub fn builtin_schema(name: &str) -> Option<Schema> {
         "university" => Some(crate::university::schema()),
         "company" => Some(crate::company::schema()),
         "cad" => Some(crate::cad::schema()),
+        "social" => Some(crate::social::schema()),
         "fig31" => Some(crate::figures::fig_3_1_schema()),
         _ => None,
     }
@@ -124,6 +141,7 @@ pub fn builtin_database(name: &str, seed: u64) -> Option<dood_store::Database> {
         "university" => Some(crate::university::populate(crate::university::Size::small(), seed)),
         "company" => Some(crate::company::populate(crate::company::CompanySize::small(), seed).0),
         "cad" => Some(crate::cad::build_bom(crate::cad::BomShape::small(), seed).0),
+        "social" => Some(crate::social::build_graph(crate::social::SocialShape::small(), seed).0),
         "fig31" => Some(crate::figures::fig_3_1().0),
         _ => None,
     }
@@ -144,7 +162,7 @@ mod tests {
 
     #[test]
     fn builtin_databases_resolve() {
-        for name in ["university", "company", "cad", "fig31"] {
+        for name in ["university", "company", "cad", "social", "fig31"] {
             let db = builtin_database(name, 42).unwrap_or_else(|| panic!("db `{name}`"));
             assert!(db.object_count() > 0, "population `{name}` is empty");
         }

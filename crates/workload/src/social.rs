@@ -1,0 +1,111 @@
+//! A social follow-graph domain — the deep-closure scenario ROADMAP item 5
+//! names: reachability over a `Follows` self-association under heavy
+//! fan-out, long follower chains, and follow-back cycles.
+//!
+//! The generated shape stresses exactly what the compiled closure kernel
+//! (DESIGN.md §11) is built for: a few *influencers* with wide fan-out
+//! (big frontier rounds), long chains hanging off each branch (many
+//! fixpoint rounds), and optional back-edges closing cycles (the per-chain
+//! cycle cut). Clusters are kept independent so the number of maximal
+//! chains stays linear in the population rather than combinatorial.
+
+use dood_core::ids::Oid;
+use dood_core::rng::Rng;
+use dood_core::schema::{Schema, SchemaBuilder};
+use dood_core::value::{DType, Value};
+use dood_store::Database;
+
+/// Build the social schema: `Person` with a `Follows` self-association and
+/// name/score attributes.
+pub fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.e_class("Person");
+    b.d_class("pname", DType::Str);
+    b.d_class("score", DType::Int);
+    b.attr("Person", "pname");
+    b.attr("Person", "score");
+    b.aggregate_named("Person", "Person", "Follows");
+    b.build().expect("social schema valid")
+}
+
+/// Shape of a generated follow graph.
+#[derive(Debug, Clone, Copy)]
+pub struct SocialShape {
+    /// Independent influencer clusters.
+    pub influencers: usize,
+    /// Branches per influencer (frontier width).
+    pub fanout: usize,
+    /// Followers chained below each branch (fixpoint depth).
+    pub depth: usize,
+    /// Per-mille probability that a branch's deepest follower follows the
+    /// cluster's influencer back, closing a cycle.
+    pub cycle_per_mille: u32,
+}
+
+impl SocialShape {
+    /// A small graph for tests: 2 influencers × 3 branches × 4-deep
+    /// chains, every branch cycling back.
+    pub fn small() -> Self {
+        SocialShape { influencers: 2, fanout: 3, depth: 4, cycle_per_mille: 1000 }
+    }
+
+    /// Total people the shape generates.
+    pub fn people(&self) -> usize {
+        self.influencers * (1 + self.fanout * self.depth)
+    }
+}
+
+/// Build a follow graph. Returns the database and the influencer OIDs.
+/// Deterministic in `seed`.
+pub fn build_graph(shape: SocialShape, seed: u64) -> (Database, Vec<Oid>) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut db = Database::new(schema());
+    let person = db.schema().class_by_name("Person").unwrap();
+    let follows = db.schema().own_link_by_name(person, "Follows").unwrap();
+
+    let mut influencers = Vec::with_capacity(shape.influencers);
+    for i in 0..shape.influencers {
+        let inf = db.new_object(person).unwrap();
+        db.set_attr(inf, "pname", Value::str(format!("inf-{i}"))).unwrap();
+        db.set_attr(inf, "score", Value::Int(rng.random_range(50i64..100))).unwrap();
+        influencers.push(inf);
+        for f in 0..shape.fanout {
+            let mut prev = inf;
+            for d in 0..shape.depth {
+                let p = db.new_object(person).unwrap();
+                db.set_attr(p, "pname", Value::str(format!("p-{i}-{f}-{d}"))).unwrap();
+                db.set_attr(p, "score", Value::Int(rng.random_range(0i64..100))).unwrap();
+                db.associate(follows, prev, p).unwrap();
+                prev = p;
+            }
+            if rng.random_range(0u32..1000) < shape.cycle_per_mille {
+                db.associate(follows, prev, inf).unwrap();
+            }
+        }
+    }
+    (db, influencers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_has_expected_counts() {
+        let shape = SocialShape::small();
+        let (db, infs) = build_graph(shape, 7);
+        let person = db.schema().class_by_name("Person").unwrap();
+        assert_eq!(infs.len(), 2);
+        assert_eq!(db.extent_size(person), shape.people());
+        let follows = db.schema().own_link_by_name(person, "Follows").unwrap();
+        // Every chain edge plus one cycle-back edge per branch.
+        assert_eq!(db.link_count(follows), 2 * 3 * 4 + 2 * 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = build_graph(SocialShape::small(), 5);
+        let (b, _) = build_graph(SocialShape::small(), 5);
+        assert_eq!(a.object_count(), b.object_count());
+    }
+}

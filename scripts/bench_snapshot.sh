@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Regenerate BENCH_SEED.json: run the full bench suite (E1-E8, E12, E14,
 # the E15 observability-overhead bench, the E16 incremental-maintenance
-# bench, and the E17 compiled-pipeline bench) and concatenate the
-# harness's JSON-lines output into one committed snapshot, so future
-# changes have a performance trajectory to compare against. E15 prints
-# its disabled-path overhead verdict against the previous snapshot, E16
-# prints its pre/post maintenance-ratio verdict, and E17 prints its
-# compile-speedup and plan-quality verdicts (`DOOD_BENCH_STRICT=1` makes
-# an over-budget verdict fatal for all three).
+# bench, the E17 compiled-pipeline bench, and the E18 closure-kernel
+# bench) and concatenate the harness's JSON-lines output into one
+# committed snapshot, so future changes have a performance trajectory to
+# compare against. E15 prints its disabled-path overhead verdict against
+# the previous snapshot, E16 prints its pre/post maintenance-ratio
+# verdict, E17 prints its compile-speedup and plan-quality verdicts, and
+# E18 prints its closure-speedup and delta-ratio verdicts
+# (`DOOD_BENCH_STRICT=1` makes an over-budget verdict fatal for all four).
 #
 # Usage: scripts/bench_snapshot.sh [out-file]
 # Run from anywhere; operates on the workspace containing this script.

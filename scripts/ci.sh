@@ -68,6 +68,20 @@ if [ "${DOOD_E16_FULL:-0}" = "1" ]; then
         cargo bench -p dood-bench --bench e16_incremental
 fi
 
+echo "== ci: closure-kernel smoke (bench e18_closure) =="
+# Smoke mode exercises the compiled fixpoint kernel, the legacy closure
+# interpreter, and the provenance-carrying delta maintenance path (timings
+# meaningless, so both verdicts self-skip). Set DOOD_E18_FULL=1 to also run
+# the timed bench with the closure-speedup and delta-ratio gates enforced
+# (DOOD_BENCH_STRICT=1).
+DOOD_BENCH_SMOKE=1 DOOD_BENCH_JSON="$SMOKE_JSON" \
+    cargo bench -p dood-bench --bench e18_closure
+if [ "${DOOD_E18_FULL:-0}" = "1" ]; then
+    echo "== ci: e18 closure-speedup + delta-ratio gates (DOOD_BENCH_STRICT=1) =="
+    DOOD_BENCH_STRICT=1 DOOD_BENCH_JSON="$SMOKE_JSON" \
+        cargo bench -p dood-bench --bench e18_closure
+fi
+
 echo "== ci: compiled-pipeline smoke (bench e17_compile) =="
 # Smoke mode exercises the compiled and interpreted paths plus all three
 # planner modes (timings meaningless, so both verdicts self-skip). Set

@@ -21,7 +21,9 @@
 //! * `--plan` — also print each compiled join pipeline (DESIGN.md §10):
 //!   one block per executed `oql.join` span, with the planner's estimated
 //!   cardinality next to the measured scanned/kept counts per stage, so
-//!   misestimates are visible at a glance.
+//!   misestimates are visible at a glance. Compiled closure fixpoints
+//!   (DESIGN.md §11) get their own blocks: estimated vs. measured rounds
+//!   and reach, plus per-round frontier sizes.
 //! * `--trace-out FILE` — additionally stream every closed span to `FILE`
 //!   as JSON lines (same format as `DOOD_TRACE=1`).
 //! * `--validate FILE` — don't profile; check that `FILE` is a well-formed
@@ -39,12 +41,13 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: doodprof [--builtin NAME | FILE.dood] [--seed N] [--metrics] [--json] [--plan] [--trace-out FILE] [--validate FILE]
   --builtin NAME    profile a built-in workload program
-                    (university | company | cad)
+                    (university | company | cad | social)
   --seed N          population seed (default 42)
   --metrics         enable and dump the metrics registry after the run
   --json            machine-readable output (one JSON object per line)
   --plan            also print each compiled join pipeline with estimated
-                    vs. measured cardinalities per stage
+                    vs. measured cardinalities per stage, and each closure
+                    fixpoint with per-round frontier sizes
   --trace-out FILE  also stream spans to FILE as JSON lines
   --validate FILE   validate a JSON-lines trace export and exit";
 
@@ -217,18 +220,24 @@ fn emit(kind: &str, name: &str, rows: usize, profile: &Profile, json: bool) {
 
 /// `--plan`: extract every compiled join pipeline from a profile tree —
 /// the `oql.join` nodes carrying `oql.plan.scan` / `oql.plan.step`
-/// children — and print estimated vs. measured cardinalities per stage.
+/// children — plus every compiled closure fixpoint (`oql.closure` with
+/// its per-round frontier children), and print estimated vs. measured
+/// cardinalities per stage.
 fn emit_plans(kind: &str, name: &str, profile: &Profile, json: bool) {
-    fn collect<'a>(p: &'a Profile, out: &mut Vec<&'a Profile>) {
+    fn collect<'a>(p: &'a Profile, out: &mut Vec<&'a Profile>, closures: &mut Vec<&'a Profile>) {
         if p.name == "oql.join" && p.children.iter().any(|c| c.name.starts_with("oql.plan.")) {
             out.push(p);
         }
+        if p.name == "oql.closure" {
+            closures.push(p);
+        }
         for c in &p.children {
-            collect(c, out);
+            collect(c, out, closures);
         }
     }
     let mut joins = Vec::new();
-    collect(profile, &mut joins);
+    let mut closures = Vec::new();
+    collect(profile, &mut joins, &mut closures);
     for (ji, j) in joins.iter().enumerate() {
         let a = |k: &str| j.attr(k).unwrap_or(-1);
         if json {
@@ -288,6 +297,56 @@ fn emit_plans(kind: &str, name: &str, profile: &Profile, json: bool) {
                         c.attr("rows").unwrap_or(-1),
                     ),
                 }
+            }
+            println!();
+        }
+    }
+    for (ci, cl) in closures.iter().enumerate() {
+        let a = |k: &str| cl.attr(k).unwrap_or(-1);
+        let rounds: Vec<&Profile> =
+            cl.children.iter().filter(|c| c.name == "oql.closure.round").collect();
+        if json {
+            let mut rs = String::new();
+            for (ri, r) in rounds.iter().enumerate() {
+                if ri > 0 {
+                    rs.push(',');
+                }
+                rs.push_str(&format!(
+                    "{{\"round\":{},\"frontier\":{},\"new\":{}}}",
+                    r.attr("round").unwrap_or(-1),
+                    r.attr("frontier").unwrap_or(-1),
+                    r.attr("new").unwrap_or(-1),
+                ));
+            }
+            println!(
+                "{{\"kind\":\"closure\",\"of\":\"{kind}\",\"name\":\"{}\",\"closure\":{ci},\
+                 \"roots\":{},\"est_rounds\":{},\"rounds\":{},\"est_reach\":{},\"reach\":{},\
+                 \"steps\":{},\"frontiers\":[{rs}]}}",
+                obs::json_escape(name),
+                a("roots"),
+                a("est_rounds"),
+                a("rounds"),
+                a("est_reach"),
+                a("reach"),
+                a("steps"),
+            );
+        } else {
+            println!(
+                "-- closure {kind} {name} #{ci}: roots={} rounds {} (est {}) reach {} (est {}) steps={}",
+                a("roots"),
+                a("rounds"),
+                a("est_rounds"),
+                a("reach"),
+                a("est_reach"),
+                a("steps"),
+            );
+            for r in &rounds {
+                println!(
+                    "   round {}  frontier={} new={}",
+                    r.attr("round").unwrap_or(-1),
+                    r.attr("frontier").unwrap_or(-1),
+                    r.attr("new").unwrap_or(-1),
+                );
             }
             println!();
         }

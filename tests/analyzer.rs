@@ -341,6 +341,23 @@ fn cross_product_w106() {
     assert!(!c.contains(&"W106"), "{c:?}");
 }
 
+#[test]
+fn unbounded_cyclic_closure_w107() {
+    // `Teacher * Section ^*`: the cycle-back edge Section→Teacher resolves
+    // to the same Teacher/Section association the chain already traverses,
+    // so an unbounded `^*` is capped only by the per-chain cycle cut.
+    let diags = lint("schema builtin university\nquery Q:\n  context Teacher * Section ^* display\n");
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["W107"]);
+    // A `^N` iteration bound caps the fixpoint — no lint.
+    let c = codes("schema builtin university\nquery Q:\n  context Teacher * Section ^2 display\n");
+    assert!(c.is_empty(), "{c:?}");
+    // Single-occurrence closures (self-association walks) cycle-cut per
+    // chain without re-traversing a chain association — no lint. The clean
+    // builtin corpus (cad `Part ^*`, social `Person ^*`) depends on this.
+    let c = codes("schema builtin social\nquery Q:\n  context Person ^* display\n");
+    assert!(c.is_empty(), "{c:?}");
+}
+
 // ---------------------------------------------------------------------
 // Engine integration
 // ---------------------------------------------------------------------

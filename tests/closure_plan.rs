@@ -1,0 +1,273 @@
+//! E18 soundness: the compiled closure kernel (DESIGN.md §11) must agree
+//! with the legacy AST-walking closure interpreter — on every closure
+//! shape (bounded `^N`, unbounded `^*`, conditioned slot-0), over all four
+//! closure-bearing schemas, at every thread count. And incremental
+//! fixpoint maintenance (provenance-carrying delta closure in
+//! `rules::maintain`) must land on exactly the subdatabases a fresh
+//! recomputation produces, under arbitrary insert/delete/attr-flip
+//! schedules, in both execution modes. Plus golden closure-plan
+//! `describe()` snapshots pinning the fan-out/rounds/reach estimates.
+//!
+//! Driven by the in-repo seeded harness (`dood::core::propcheck`); replay
+//! a reported failure with `DOOD_PROP_SEED=<seed> cargo test <name>`.
+
+use dood::core::ids::Oid;
+use dood::core::obs::stats;
+use dood::core::propcheck::check;
+use dood::core::schema::SchemaBuilder;
+use dood::core::subdb::{ExtPattern, SubdbRegistry};
+use dood::core::value::{DType, Value};
+use dood::oql::parser::Parser;
+use dood::oql::resolve::resolve_context;
+use dood::oql::{Evaluator, ExecMode};
+use dood::rules::{EvalPolicy, RuleEngine};
+use dood::store::Database;
+use dood::workload::{cad, social, university};
+use std::sync::Mutex;
+
+const CASES: usize = 4;
+const THREADS: &[&str] = &["1", "2", "4"];
+
+/// `DOOD_THREADS` / `DOOD_EXEC` are process-global; tests that set them
+/// serialize on this lock (the stats registry rides along).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A minimal self-association schema (`N --Next--> N`) whose instances the
+/// maintenance schedules mutate freely: the smallest graph where frontier
+/// rounds, cycle cuts, and support-count GC all occur.
+fn cyclic_db(nodes: usize) -> Database {
+    let mut b = SchemaBuilder::new();
+    b.e_class("N");
+    b.d_class("v", DType::Int);
+    b.attr("N", "v");
+    b.aggregate_named("N", "N", "Next");
+    let mut db = Database::new(b.build().expect("cyclic schema valid"));
+    let n = db.schema().class_by_name("N").unwrap();
+    let next = db.schema().own_link_by_name(n, "Next").unwrap();
+    let mut prev = None;
+    for i in 0..nodes {
+        let o = db.new_object(n).unwrap();
+        db.set_attr(o, "v", Value::Int(i as i64)).unwrap();
+        if let Some(p) = prev {
+            db.associate(next, p, o).unwrap();
+        }
+        prev = Some(o);
+    }
+    db
+}
+
+/// Closure context expressions per schema: unbounded, bounded, and
+/// slot-0-conditioned variants — the shapes the kernel specializes.
+const UNIVERSITY_QUERIES: &[&str] = &[
+    "Grad * TA * Teacher * Section * Student ^*",
+    "Grad * TA * Teacher * Section * Student ^2",
+];
+const CAD_QUERIES: &[&str] = &["Part ^*", "Part ^3", "Part [cost >= 20] ^*"];
+const CYCLIC_QUERIES: &[&str] = &["N ^*", "N ^2", "N [v >= 2] ^*"];
+const SOCIAL_QUERIES: &[&str] = &["Person ^*", "Person ^4", "Person [score >= 50] ^*"];
+
+fn dbs(seed: u64) -> Vec<(Database, &'static [&'static str])> {
+    vec![
+        (university::populate(university::Size::small(), seed), UNIVERSITY_QUERIES),
+        (cad::build_bom(cad::BomShape::small(), seed).0, CAD_QUERIES),
+        (cyclic_db(8), CYCLIC_QUERIES),
+        (social::build_graph(social::SocialShape::small(), seed).0, SOCIAL_QUERIES),
+    ]
+}
+
+/// Evaluate `query` through the compiled fixpoint kernel and the legacy
+/// interpreter; assert byte-identical pattern sets.
+fn assert_equiv(db: &Database, reg: &SubdbRegistry, query: &str) {
+    let expr = Parser::parse_context_expr(query).unwrap();
+    let resolved = resolve_context(&expr, db.schema(), reg).unwrap();
+    let compiled = Evaluator::new(&resolved, db, reg)
+        .unwrap()
+        .with_exec(ExecMode::Compiled)
+        .eval("x")
+        .to_vec();
+    let interp = Evaluator::new(&resolved, db, reg)
+        .unwrap()
+        .with_exec(ExecMode::Interp)
+        .eval("x")
+        .to_vec();
+    assert_eq!(compiled, interp, "compiled != interp for `{query}`");
+}
+
+#[test]
+fn compiled_closure_equals_interp_across_schemas_and_threads() {
+    let _g = lock();
+    check("compiled_closure_equals_interp_across_schemas_and_threads", CASES, |g| {
+        let seed = g.range(0u64..100);
+        for threads in THREADS {
+            std::env::set_var("DOOD_THREADS", threads);
+            for (db, queries) in dbs(seed) {
+                let reg = SubdbRegistry::new();
+                for q in queries {
+                    assert_equiv(&db, &reg, q);
+                }
+            }
+            std::env::remove_var("DOOD_THREADS");
+        }
+    });
+}
+
+/// One mutation of a self-association graph, chosen by `(kind, k)`:
+/// attach a new node, add an edge (possibly closing a cycle), delete a
+/// node (detaching its links), or flip an attribute (dirtying conditions
+/// and WHERE verdicts without touching structure).
+fn mutate(db: &mut Database, class: &str, link: &str, attr: &str, kind: usize, k: usize) {
+    let cls = db.schema().class_by_name(class).unwrap();
+    let assoc = db.schema().own_link_by_name(cls, link).unwrap();
+    let pop: Vec<Oid> = db.extent(cls).collect();
+    match kind {
+        0 => {
+            let o = db.new_object(cls).unwrap();
+            db.set_attr(o, attr, Value::Int(k as i64 % 100)).unwrap();
+            let from = pop[k % pop.len()];
+            db.associate(assoc, from, o).unwrap();
+        }
+        1 => {
+            let a = pop[k % pop.len()];
+            let b = pop[(k / 7 + 1) % pop.len()];
+            if a != b && !db.linked(assoc, a, b) {
+                db.associate(assoc, a, b).unwrap();
+            }
+        }
+        2 => {
+            if pop.len() > 2 {
+                db.delete_object(pop[k % pop.len()]).unwrap();
+            }
+        }
+        _ => {
+            let o = pop[k % pop.len()];
+            db.set_attr(o, attr, Value::Int(k as i64 % 100 - 30)).unwrap();
+        }
+    }
+}
+
+/// Register closure `rules` over `db`, derive `subdbs`, apply the
+/// mutation schedule propagating after each step, and return the final
+/// materializations. `incremental=false` is the fresh-recompute oracle.
+#[allow(clippy::too_many_arguments)]
+fn run_schedule(
+    db: Database,
+    class: &str,
+    link: &str,
+    attr: &str,
+    rules: &[(&str, &str)],
+    subdbs: &[&str],
+    ops: &[(usize, usize)],
+    incremental: bool,
+    exec: &str,
+) -> Vec<Vec<ExtPattern>> {
+    std::env::set_var("DOOD_EXEC", exec);
+    let mut e = RuleEngine::new(db);
+    for (name, src) in rules {
+        e.add_rule(name, src).unwrap();
+    }
+    for s in subdbs {
+        e.set_policy(*s, EvalPolicy::PreEvaluated);
+    }
+    e.set_incremental(incremental);
+    for s in subdbs {
+        e.subdb(s).unwrap();
+    }
+    for &(kind, k) in ops {
+        mutate(e.db_mut(), class, link, attr, kind, k);
+        e.propagate().unwrap();
+    }
+    let out = subdbs.iter().map(|s| e.registry().subdb(s).unwrap().to_vec()).collect();
+    std::env::remove_var("DOOD_EXEC");
+    out
+}
+
+#[test]
+fn closure_maintenance_incremental_equals_fresh_cyclic() {
+    let _g = lock();
+    check("closure_maintenance_incremental_equals_fresh_cyclic", CASES, |g| {
+        let ops: Vec<(usize, usize)> =
+            g.vec(3..9, |g| (g.range(0usize..4), g.range(0usize..64)));
+        // A plain chain-collecting rule plus a conditioned + WHERE-guarded
+        // one: the latter exercises the stale-verdict recheck path when an
+        // attr flip dirties a retained chain.
+        let rules: &[(&str, &str)] = &[
+            ("R1", "if context N ^* then T (N, N_*)"),
+            ("R2", "if context N [v < 60] ^* where N.v >= 0 then U (N, N_*)"),
+        ];
+        let subdbs = &["T", "U"];
+        for threads in THREADS {
+            std::env::set_var("DOOD_THREADS", threads);
+            let run = |inc: bool, exec: &str| {
+                run_schedule(cyclic_db(6), "N", "Next", "v", rules, subdbs, &ops, inc, exec)
+            };
+            let inc_compiled = run(true, "compiled");
+            let inc_interp = run(true, "interp");
+            let fresh = run(false, "compiled");
+            assert_eq!(inc_compiled, inc_interp, "incremental compiled != interp");
+            assert_eq!(inc_compiled, fresh, "incremental != fresh recompute");
+            std::env::remove_var("DOOD_THREADS");
+        }
+    });
+}
+
+#[test]
+fn closure_maintenance_incremental_equals_fresh_social() {
+    let _g = lock();
+    check("closure_maintenance_incremental_equals_fresh_social", CASES, |g| {
+        let seed = g.range(0u64..100);
+        let ops: Vec<(usize, usize)> =
+            g.vec(3..8, |g| (g.range(0usize..4), g.range(0usize..64)));
+        let rules: &[(&str, &str)] =
+            &[("RS", "if context Person ^* then Reach (Person, Person_*)")];
+        let build = || social::build_graph(social::SocialShape::small(), seed).0;
+        let run = |inc: bool, exec: &str| {
+            run_schedule(build(), "Person", "Follows", "score", rules, &["Reach"], &ops, inc, exec)
+        };
+        let inc_compiled = run(true, "compiled");
+        let inc_interp = run(true, "interp");
+        let fresh = run(false, "compiled");
+        assert_eq!(inc_compiled, inc_interp, "incremental compiled != interp");
+        assert_eq!(inc_compiled, fresh, "incremental != fresh recompute");
+    });
+}
+
+/// Golden closure plans with the stats registry cleared (pure
+/// schema-derived estimates): a cost-model change that moves the fan-out,
+/// round, or reach estimates shows up here as a readable diff, with
+/// `doodprof --plan` as the investigation tool.
+#[test]
+fn golden_closure_plans() {
+    let _g = lock();
+    stats::clear();
+    let plan_of = |db: &Database, query: &str| {
+        let reg = SubdbRegistry::new();
+        let expr = Parser::parse_context_expr(query).unwrap();
+        let resolved = resolve_context(&expr, db.schema(), &reg).unwrap();
+        Evaluator::new(&resolved, db, &reg).unwrap().plan_handle().describe()
+    };
+    let social_db = social::build_graph(social::SocialShape::small(), 42).0;
+    let cad_db = cad::build_bom(cad::BomShape::small(), 42).0;
+    let unbounded = plan_of(&social_db, "Person ^*");
+    let bounded = plan_of(&social_db, "Person ^2");
+    let part = plan_of(&cad_db, "Part ^*");
+    stats::clear();
+    assert_eq!(
+        unbounded,
+        "plan mode=cost\n  span [0,1) anchor=Person cost=26 rows=26\n    scan Person est=26\n  closure ^* cycle=Person fan=1.15 est_rounds=23 est_reach=26\n",
+        "social `^*` golden plan drifted:\n{unbounded}"
+    );
+    assert_eq!(
+        bounded,
+        "plan mode=cost\n  span [0,1) anchor=Person cost=26 rows=26\n    scan Person est=26\n  closure ^2 cycle=Person fan=1.15 est_rounds=2 est_reach=26\n",
+        "social `^2` golden plan drifted:\n{bounded}"
+    );
+    assert_eq!(
+        part,
+        "plan mode=cost\n  span [0,1) anchor=Part cost=30 rows=30\n    scan Part est=30\n  closure ^* cycle=Part fan=0.93 est_rounds=30 est_reach=30\n",
+        "cad `^*` golden plan drifted:\n{part}"
+    );
+}
