@@ -35,6 +35,15 @@ fn registry() -> &'static Mutex<FxHashMap<String, Stat>> {
     REG.get_or_init(|| Mutex::new(FxHashMap::default()))
 }
 
+/// Static priors: analysis-derived estimates (the `rules::absint`
+/// abstract interpreter) consulted only when a key has **no** observation.
+/// Kept separate from the EWMA registry so one real observation fully
+/// replaces the prior instead of being averaged with it.
+fn priors() -> &'static Mutex<FxHashMap<String, f64>> {
+    static REG: OnceLock<Mutex<FxHashMap<String, f64>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(FxHashMap::default()))
+}
+
 /// Fold one observation into `key`'s moving average.
 pub fn observe(key: &str, value: f64) {
     if !value.is_finite() {
@@ -62,10 +71,39 @@ pub fn set(key: &str, value: f64) {
     registry().lock().unwrap().insert(key.to_string(), Stat { ewma: value, count: 1 });
 }
 
-/// Drop every recorded statistic (plans fall back to schema-derived
-/// estimates until new observations arrive). Golden-plan tests call this
-/// to make the chosen orders independent of earlier test activity.
+/// Record a static prior for `key` (non-finite values are ignored). Priors
+/// fill the cold-start gap: [`get_or_prior`] serves them only until the
+/// first real observation of the key arrives.
+pub fn set_prior(key: &str, value: f64) {
+    if !value.is_finite() {
+        return;
+    }
+    priors().lock().unwrap().insert(key.to_string(), value);
+}
+
+/// The static prior for `key`, if one was installed.
+pub fn prior(key: &str) -> Option<f64> {
+    priors().lock().unwrap().get(key).copied()
+}
+
+/// Observed average when any observation exists, else the static prior.
+/// The planner's lookup path: observation ≻ prior ≻ caller fallback.
+pub fn get_or_prior(key: &str) -> Option<f64> {
+    get(key).or_else(|| prior(key))
+}
+
+/// Drop every recorded statistic and prior (plans fall back to
+/// schema-derived estimates until new observations arrive). Golden-plan
+/// tests call this to make the chosen orders independent of earlier test
+/// activity.
 pub fn clear() {
+    registry().lock().unwrap().clear();
+    priors().lock().unwrap().clear();
+}
+
+/// Drop only the observed statistics, keeping installed priors — the
+/// cold-start ablation switch (warmed vs. static-prior plans).
+pub fn clear_observations() {
     registry().lock().unwrap().clear();
 }
 
@@ -96,6 +134,18 @@ mod tests {
         let snap = snapshot();
         let row = snap.iter().find(|(k, _, _)| k == key).unwrap();
         assert_eq!(row.2, 65);
+    }
+
+    #[test]
+    fn priors_yield_to_observations() {
+        let key = "test.stats.prior_yields";
+        set_prior(key, 0.25);
+        assert_eq!(get(key), None, "priors are not observations");
+        assert_eq!(get_or_prior(key), Some(0.25));
+        observe(key, 0.8);
+        assert_eq!(get_or_prior(key), Some(0.8), "observation replaces prior");
+        set_prior(key, f64::INFINITY);
+        assert_eq!(prior(key), Some(0.25), "non-finite priors ignored");
     }
 
     #[test]

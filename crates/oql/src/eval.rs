@@ -52,11 +52,12 @@ impl CPred {
 }
 
 /// Compile a predicate against a slot's base class, enforcing the slot's
-/// attribute accessibility restriction (paper §4.2).
+/// attribute accessibility restriction (paper §4.2). Pure schema work — no
+/// extensional data is touched, so static analysis can call it too.
 fn compile_pred(
     pred: &Pred,
     slot: &RSlot,
-    db: &Database,
+    schema: &dood_core::schema::Schema,
 ) -> Result<CPred, QueryError> {
     match pred {
         Pred::Cmp { attr, op, value } => {
@@ -68,18 +69,18 @@ fn compile_pred(
                     }));
                 }
             }
-            let resolved = db.schema().resolve_attr(slot.base, attr)?;
+            let resolved = schema.resolve_attr(slot.base, attr)?;
             Ok(CPred::Cmp { attr: resolved, op: *op, value: value.to_value() })
         }
         Pred::And(a, b) => Ok(CPred::And(
-            Box::new(compile_pred(a, slot, db)?),
-            Box::new(compile_pred(b, slot, db)?),
+            Box::new(compile_pred(a, slot, schema)?),
+            Box::new(compile_pred(b, slot, schema)?),
         )),
         Pred::Or(a, b) => Ok(CPred::Or(
-            Box::new(compile_pred(a, slot, db)?),
-            Box::new(compile_pred(b, slot, db)?),
+            Box::new(compile_pred(a, slot, schema)?),
+            Box::new(compile_pred(b, slot, schema)?),
         )),
-        Pred::Not(p) => Ok(CPred::Not(Box::new(compile_pred(p, slot, db)?))),
+        Pred::Not(p) => Ok(CPred::Not(Box::new(compile_pred(p, slot, schema)?))),
     }
 }
 
@@ -226,8 +227,30 @@ fn sel_key(class: dood_core::ids::ClassId, pred: &CPred) -> String {
 
 /// The stats key for one traversal direction of a base association
 /// (`oql.fan.*`): `dir` is the association's own from→to orientation.
-fn fan_key_assoc(assoc: dood_core::ids::AssocId, dir: bool) -> String {
+pub fn fan_key_assoc(assoc: dood_core::ids::AssocId, dir: bool) -> String {
     format!("oql.fan.a{}.{}", assoc.index(), if dir { "f" } else { "r" })
+}
+
+/// The `oql.sel.*` stats key an intra-class condition will plan under,
+/// computed from the AST predicate alone (no extensional data). This is
+/// how `rules::absint` addresses its selectivity priors at the same keys
+/// [`build_plan`] reads: it compiles the predicate exactly as the
+/// evaluator would and fingerprints the compiled form. `None` when the
+/// predicate does not compile (the analyzer reports that separately).
+pub fn static_sel_key(
+    schema: &dood_core::schema::Schema,
+    base: dood_core::ids::ClassId,
+    attr_filter: Option<&[String]>,
+    pred: &Pred,
+) -> Option<String> {
+    let slot = RSlot {
+        name: schema.class(base).name.clone(),
+        base,
+        derived: None,
+        attr_filter: attr_filter.map(|f| f.to_vec()),
+        cond: None,
+    };
+    compile_pred(pred, &slot, schema).ok().map(|c| sel_key(base, &c))
 }
 
 /// Default condition selectivity when no observation exists: index-served
@@ -265,7 +288,7 @@ fn build_plan(
         .collect();
     let sels: Vec<f64> = (0..n)
         .map(|i| match &sel_keys[i] {
-            Some(k) => stats::get(k).unwrap_or(if hints[i].is_some() {
+            Some(k) => stats::get_or_prior(k).unwrap_or(if hints[i].is_some() {
                 DEFAULT_SEL_HINTED
             } else {
                 DEFAULT_SEL_COND
@@ -308,11 +331,11 @@ fn build_plan(
                         let kf = fan_key_assoc(*assoc, *forward);
                         let kr = fan_key_assoc(*assoc, !*forward);
                         fwd_fan.push(
-                            stats::get(&kf)
+                            stats::get_or_prior(&kf)
                                 .unwrap_or(links / db.extent_size(from_c).max(1) as f64),
                         );
                         rev_fan.push(
-                            stats::get(&kr)
+                            stats::get_or_prior(&kr)
                                 .unwrap_or(links / db.extent_size(to_c).max(1) as f64),
                         );
                         fan_keys.push(Some((kf, kr)));
@@ -331,8 +354,8 @@ fn build_plan(
                     .map_or(0.0, |&(adj, _)| adj.pair_count() as f64);
                 let kf = format!("oql.fan.d.{subdb}.{a}.{b}");
                 let kr = format!("oql.fan.d.{subdb}.{b}.{a}");
-                fwd_fan.push(stats::get(&kf).unwrap_or(pairs / cards[i].max(1.0)));
-                rev_fan.push(stats::get(&kr).unwrap_or(pairs / cards[i + 1].max(1.0)));
+                fwd_fan.push(stats::get_or_prior(&kf).unwrap_or(pairs / cards[i].max(1.0)));
+                rev_fan.push(stats::get_or_prior(&kr).unwrap_or(pairs / cards[i + 1].max(1.0)));
                 fan_keys.push(Some((kf, kr)));
             }
         }
@@ -362,7 +385,7 @@ fn build_plan(
                 )
             }
         };
-        let est_fan = fan_key.as_deref().and_then(stats::get).unwrap_or(fallback);
+        let est_fan = fan_key.as_deref().and_then(stats::get_or_prior).unwrap_or(fallback);
         crate::plan::ClosureParts {
             fan_key,
             est_fan,
@@ -401,7 +424,7 @@ impl<'a> Evaluator<'a> {
         let mut preds = Vec::with_capacity(ctx.slots.len());
         for slot in &ctx.slots {
             preds.push(match &slot.cond {
-                Some(p) => Some(compile_pred(p, slot, db)?),
+                Some(p) => Some(compile_pred(p, slot, db.schema())?),
                 None => None,
             });
         }

@@ -328,6 +328,18 @@ impl CompiledContext {
         plan_span_anchored(lo, hi, slot, &inputs, &self.edges)
     }
 
+    /// Re-cost a span plan (possibly chosen under *different* inputs)
+    /// under **this** context's cost-model inputs: the order is replayed —
+    /// same anchor, same left/right interleaving — and its estimated total
+    /// cost under `self.inputs` is returned. This is the deterministic
+    /// plan-quality metric of E19: cost a cold-start (static-prior) order
+    /// with warmed-stats inputs and compare against the warmed optimum.
+    /// Both contexts must compile the same resolved context shape.
+    pub fn recost_span(&self, span: &SpanPlan) -> f64 {
+        let dirs: Vec<bool> = span.steps.iter().map(|s| s.forward).collect();
+        steps_for(span.lo, span.hi, span.anchor, &dirs, &self.inputs, &self.edges).est_cost
+    }
+
     /// Whether any span's chosen plan contains an unconstrained
     /// cross-product stage (the W106 condition).
     pub fn has_cross_stage(&self) -> bool {
@@ -739,6 +751,35 @@ mod tests {
         inp.sels[2] = 0.1;
         let p = plan_span(0, 3, &inp, &edges, PlannerMode::Leftmost);
         assert!(p.steps.iter().all(|s| !s.cross));
+    }
+
+    #[test]
+    fn recost_replays_a_foreign_order() {
+        // A plan chosen under misleading inputs, re-costed under the truth,
+        // must cost at least the true optimum — and re-costing the true
+        // optimum under its own inputs is the identity.
+        let truth = inputs(&[1000.0, 1000.0, 3.0], 2.0);
+        let edges = chain(2);
+        let misled = inputs(&[3.0, 1000.0, 1000.0], 2.0);
+        let cold = plan_span(0, 3, &misled, &edges, PlannerMode::CostBased);
+        let warm = plan_span(0, 3, &truth, &edges, PlannerMode::CostBased);
+        let ctx = compile(
+            CompileParts {
+                preds: vec![None; 3],
+                hints: vec![None; 3],
+                sel_keys: vec![None; 3],
+                fan_keys: vec![None; 2],
+                edges,
+                slot_names: vec!["a".into(), "b".into(), "c".into()],
+                span_bounds: vec![(0, 3)],
+                closure: None,
+            },
+            truth,
+            PlannerMode::CostBased,
+        );
+        let re_warm = ctx.recost_span(&warm);
+        assert!((re_warm - warm.est_cost).abs() < 1e-9, "identity recost");
+        assert!(ctx.recost_span(&cold) >= re_warm - 1e-9, "optimum is minimal");
     }
 
     #[test]

@@ -19,6 +19,30 @@ use dood_core::value::Value;
 use dood_store::Database;
 use std::collections::BTreeSet;
 
+/// The stats key one WHERE condition's observed selectivity is recorded
+/// under (`oql.wsel.*`): a fingerprint of the condition's AST shape, so a
+/// structurally identical condition in any query or rule shares the
+/// estimate. Static analysis (`rules::absint`) installs priors at the same
+/// keys; `doodprof --plan` joins static, estimated, and measured values on
+/// them.
+pub fn where_sel_key(cond: &WhereCond) -> String {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{cond:?}").hash(&mut h);
+    format!("oql.wsel.{:016x}", h.finish())
+}
+
+/// Minimum input rows before a WHERE stage feeds the stats registry —
+/// tiny pattern sets produce noisy selectivity ratios.
+const WSEL_MIN_ROWS: usize = 4;
+
+/// Record one WHERE stage's observed keep-fraction.
+fn observe_wsel(cond: &WhereCond, rows_in: usize, rows_out: usize) {
+    if rows_in >= WSEL_MIN_ROWS {
+        obs::stats::observe(&where_sel_key(cond), rows_out as f64 / rows_in as f64);
+    }
+}
+
 /// Find the unique slot a class reference denotes within an intension.
 pub fn find_slot(int: &Intension, cref: &ClassRef) -> Result<usize, QueryError> {
     let mut hits = Vec::new();
@@ -154,9 +178,11 @@ pub fn apply_where(
                     })
                     .cloned()
                     .collect();
-                let dropped = sd.len() - keep.len();
+                let rows_in = sd.len();
+                let dropped = rows_in - keep.len();
                 sd.set_patterns(keep);
                 sp.attr("rows_out", sd.len() as i64);
+                observe_wsel(cond, rows_in, sd.len());
                 if dropped > 0 && obs::metrics_enabled() {
                     obs::metrics::counter("oql.where.dropped").add(dropped as u64);
                 }
@@ -238,9 +264,11 @@ pub fn apply_where(
                     })
                     .cloned()
                     .collect();
-                let dropped = sd.len() - keep.len();
+                let rows_in = sd.len();
+                let dropped = rows_in - keep.len();
                 sd.set_patterns(keep);
                 sp.attr("rows_out", sd.len() as i64);
+                observe_wsel(cond, rows_in, sd.len());
                 if dropped > 0 && obs::metrics_enabled() {
                     obs::metrics::counter("oql.where.dropped").add(dropped as u64);
                 }

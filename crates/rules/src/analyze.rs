@@ -64,10 +64,31 @@ pub fn analyze(
 ) -> Vec<Diagnostic> {
     let mut ext = external.clone();
     ext.extend(program.externs.iter().cloned());
-    let mut a = Analyzer::new(program, schema, ext);
+    let mut a = Analyzer::new(program, schema, ext.clone());
     a.run();
-    diag::sort(&mut a.diags);
-    a.diags
+    let mut diags = a.diags;
+    // The abstract-interpretation pass (E017/E018/W108-W110) only runs on
+    // programs the base analyzer can make sense of: its bounds assume
+    // resolvable classes and coherent layouts.
+    if !diag::has_errors(&diags) {
+        diags.extend(crate::absint::analyze_bounds(
+            program,
+            schema,
+            &ext,
+            &crate::absint::CardEnv::unknown(),
+        )
+        .diags);
+    }
+    // `allow <CODE>` directives suppress warning-severity diagnostics (a
+    // lint opt-out); errors are never suppressible.
+    if !program.allows.is_empty() {
+        diags.retain(|d| {
+            d.severity != diag::Severity::Warning
+                || !program.allows.iter().any(|c| c == d.code)
+        });
+    }
+    diag::sort(&mut diags);
+    diags
 }
 
 /// W105: flag every forward-chaining rule that reads a subdatabase whose
@@ -147,16 +168,17 @@ struct OccInfo {
     span: Span,
 }
 
-/// The flattened shape of a context expression.
-struct Shape<'a> {
-    occs: Vec<(&'a ClassRef, Option<&'a Pred>)>,
+/// The flattened shape of a context expression. Shared with the abstract
+/// interpreter ([`crate::absint`]), which walks the same occurrence list.
+pub(crate) struct Shape<'a> {
+    pub(crate) occs: Vec<(&'a ClassRef, Option<&'a Pred>)>,
     /// Operator between occurrence `i` and `i+1`.
-    ops: Vec<PatOp>,
+    pub(crate) ops: Vec<PatOp>,
     /// Inclusive occurrence-index ranges covered by `{...}` groups.
-    groups: Vec<(usize, usize)>,
+    pub(crate) groups: Vec<(usize, usize)>,
 }
 
-fn shape(seq: &Seq) -> Shape<'_> {
+pub(crate) fn shape(seq: &Seq) -> Shape<'_> {
     fn walk<'a>(seq: &'a Seq, sh: &mut Shape<'a>) {
         visit(&seq.first, sh);
         for (op, it) in &seq.rest {
@@ -1141,4 +1163,257 @@ fn literal_dtype(l: &Literal) -> DType {
         Literal::Real(_) => DType::Real,
         Literal::Str(_) => DType::Str,
     }
+}
+
+// ====================================================================
+// Diagnostic code documentation
+// ====================================================================
+
+/// Documentation for one diagnostic code — the single source of truth
+/// behind `doodlint --explain`, `doodlint --allow` validation, and the
+/// README code table.
+pub struct CodeDoc {
+    /// The code, e.g. `"E004"`.
+    pub code: &'static str,
+    /// Its severity class.
+    pub severity: diag::Severity,
+    /// One-line summary (README table cell).
+    pub summary: &'static str,
+    /// A short paragraph for `--explain`: what triggers it and what to do.
+    pub detail: &'static str,
+}
+
+/// Every diagnostic code the rule toolchain can emit, in code order.
+pub fn codes() -> &'static [CodeDoc] {
+    use diag::Severity::{Error, Warning};
+    const CODES: &[CodeDoc] = &[
+        CodeDoc {
+            code: "E001",
+            severity: Error,
+            summary: "unknown class in a context expression",
+            detail: "An unqualified occurrence names a class the schema does not \
+                     declare (closure family aliases like `Part_2` resolve through \
+                     their family class).",
+        },
+        CodeDoc {
+            code: "E002",
+            severity: Error,
+            summary: "reference to an underivable subdatabase",
+            detail: "A qualified occurrence (`Subdb:Class`) names a subdatabase that no \
+                     rule in scope derives and that is not declared `extern`.",
+        },
+        CodeDoc {
+            code: "E003",
+            severity: Error,
+            summary: "class not in the subdatabase's derived layout",
+            detail: "A qualified occurrence names a class that the deriving rule's THEN \
+                     clause does not place in the target subdatabase.",
+        },
+        CodeDoc {
+            code: "E004",
+            severity: Error,
+            summary: "no association between a linked pair",
+            detail: "Two occurrences joined by `*` or `!` have no association (or \
+                     generalization path) connecting their classes in the schema.",
+        },
+        CodeDoc {
+            code: "E005",
+            severity: Error,
+            summary: "ambiguous association between a linked pair",
+            detail: "More than one schema association connects the pair, and the \
+                     expression does not disambiguate which one is meant.",
+        },
+        CodeDoc {
+            code: "E006",
+            severity: Error,
+            summary: "unknown attribute",
+            detail: "A `[...]` condition or WHERE operand references an attribute the \
+                     class (or its generalization ancestors) does not declare.",
+        },
+        CodeDoc {
+            code: "E007",
+            severity: Error,
+            summary: "incomparable value types",
+            detail: "A comparison mixes value types that have no common order (e.g. a \
+                     string attribute against an integer literal); Int and Real \
+                     inter-compare freely.",
+        },
+        CodeDoc {
+            code: "E008",
+            severity: Error,
+            summary: "attribute projected away by the deriving rule",
+            detail: "A qualified occurrence uses an attribute that the deriving rule's \
+                     THEN clause explicitly projected out of the target subdatabase.",
+        },
+        CodeDoc {
+            code: "E009",
+            severity: Error,
+            summary: "query operand does not match the context",
+            detail: "A SELECT/display operand names a class (or attribute) that the \
+                     query's context expression does not bind.",
+        },
+        CodeDoc {
+            code: "E010",
+            severity: Error,
+            summary: "ill-typed aggregation",
+            detail: "A WHERE aggregate is mis-applied: `sum`/`avg` over a non-numeric \
+                     attribute, or a threshold of a type the aggregate cannot produce.",
+        },
+        CodeDoc {
+            code: "E011",
+            severity: Error,
+            summary: "THEN target not bound by the IF clause",
+            detail: "A THEN-clause class (or its attribute restriction) does not appear \
+                     as a positive occurrence in the rule's context expression.",
+        },
+        CodeDoc {
+            code: "E012",
+            severity: Error,
+            summary: "union rules disagree on the target layout",
+            detail: "Two rules derive the same subdatabase with incompatible THEN \
+                     layouts (different classes or attribute restrictions); union \
+                     semantics require an agreed layout.",
+        },
+        CodeDoc {
+            code: "E013",
+            severity: Error,
+            summary: "derived slot bound only by `!` edges",
+            detail: "A THEN target's occurrence is constrained only by non-association \
+                     (`!`) edges, so the derivation is not range-restricted; bind it \
+                     with at least one positive `*` edge.",
+        },
+        CodeDoc {
+            code: "E014",
+            severity: Error,
+            summary: "cyclic rule dependencies",
+            detail: "Rule derivations form a dependency cycle (the full named path is \
+                     reported); stratify the program to break it.",
+        },
+        CodeDoc {
+            code: "E015",
+            severity: Error,
+            summary: "negation through a derivation cycle",
+            detail: "A dependency cycle passes through a negated (`!`) read of a \
+                     derived subdatabase — the classic unstratifiable-negation shape.",
+        },
+        CodeDoc {
+            code: "E016",
+            severity: Error,
+            summary: "duplicate rule name",
+            detail: "Two rules in the program share a name; rule names must be unique \
+                     (subdatabase names may be shared — that is union semantics).",
+        },
+        CodeDoc {
+            code: "E017",
+            severity: Error,
+            summary: "statically-unsatisfiable predicate",
+            detail: "Abstract interpretation proved a `[...]` condition or WHERE \
+                     comparison admits no value: contradictory bounds (`x > 3 and \
+                     x < 4` over Int), an excluded point (`x = 5 and x != 5`), or a \
+                     threshold outside an aggregate's domain (`count(...) < 0`). The \
+                     rule can never produce a pattern.",
+        },
+        CodeDoc {
+            code: "E018",
+            severity: Error,
+            summary: "statically-empty context",
+            detail: "A rule or query reads a derived subdatabase that abstract \
+                     interpretation proved empty (every deriving rule has an \
+                     unsatisfiable predicate or an empty source of its own), so this \
+                     context is provably empty too.",
+        },
+        CodeDoc {
+            code: "P001",
+            severity: Error,
+            summary: "malformed program directive or section header",
+            detail: "The program scanner could not parse a directive (`schema`, \
+                     `export`, `extern`, `allow`, a rule or query header). The rest of \
+                     the program is still scanned, but the offending line is skipped.",
+        },
+        CodeDoc {
+            code: "W101",
+            severity: Warning,
+            summary: "occurrence bound only by `!` edges",
+            detail: "A non-target occurrence is constrained only by non-association \
+                     edges; it ranges over the whole extent minus linked pairs, which \
+                     is rarely what was meant.",
+        },
+        CodeDoc {
+            code: "W102",
+            severity: Warning,
+            summary: "dead rule",
+            detail: "The rule's target subdatabase is never read by a query, an \
+                     export, or a live downstream rule.",
+        },
+        CodeDoc {
+            code: "W103",
+            severity: Warning,
+            summary: "duplicate rule bodies",
+            detail: "Two rules have structurally identical IF/WHERE/THEN bodies; the \
+                     second contributes nothing under union semantics.",
+        },
+        CodeDoc {
+            code: "W104",
+            severity: Warning,
+            summary: "brace-retention Null reaches a comparison",
+            detail: "A WHERE `=` comparison references a slot outside a `{...}` \
+                     retention group; retained patterns carry Null there and are \
+                     silently dropped by the comparison.",
+        },
+        CodeDoc {
+            code: "W105",
+            severity: Warning,
+            summary: "forward rule reads a backward-derived source",
+            detail: "Under rule-oriented control a forward-chaining rule reading a \
+                     backward-derived subdatabase goes silently stale when the source \
+                     is absent (the paper's §6 staleness hazard).",
+        },
+        CodeDoc {
+            code: "W106",
+            severity: Warning,
+            summary: "`!` edge evaluates as a cross product",
+            detail: "The best static plan for a non-association edge is still an \
+                     unconstrained cross-product stage; add conditions to narrow one \
+                     side.",
+        },
+        CodeDoc {
+            code: "W107",
+            severity: Warning,
+            summary: "unbounded closure re-traverses an association",
+            detail: "A `^*` closure's cycle-back edge re-traverses an association \
+                     already on the chain, a shape that often loops over the same \
+                     links; bound it with `^N` if unintended.",
+        },
+        CodeDoc {
+            code: "W108",
+            severity: Warning,
+            summary: "predicate subsumed by earlier constraints",
+            detail: "Abstract interpretation proved a WHERE condition is implied by \
+                     the constraints already established on the same attribute (or is \
+                     vacuous over an aggregate's domain): it can never drop a pattern.",
+        },
+        CodeDoc {
+            code: "W109",
+            severity: Warning,
+            summary: "join blowup",
+            detail: "A non-closure chain crosses two or more wide (Many-cardinality) \
+                     association edges with no narrowing condition on any slot; the \
+                     worst-case extent grows multiplicatively with every wide edge.",
+        },
+        CodeDoc {
+            code: "W110",
+            severity: Warning,
+            summary: "closure bound provably exceeds schema reach",
+            detail: "Every chain and cycle edge of the `^N` closure is a \
+                     generalization identity, so the fixpoint terminates at level 1 \
+                     and the declared levels beyond it are provably dead.",
+        },
+    ];
+    CODES
+}
+
+/// Look up one code's documentation (`doodlint --explain`).
+pub fn explain(code: &str) -> Option<&'static CodeDoc> {
+    let up = code.to_ascii_uppercase();
+    codes().iter().find(|c| c.code == up)
 }

@@ -305,6 +305,10 @@ impl RuleEngine {
         for pr in &program.rules {
             self.add_parsed_rule(pr.rule.clone())?;
         }
+        // Static planner priors: abstract-interpretation selectivity and
+        // fan-out estimates, consulted by the cost model only until real
+        // observations warm the corresponding stats keys.
+        crate::absint::install_priors(program, self.db.schema());
         Ok(diags)
     }
 

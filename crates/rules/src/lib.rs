@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod analyze;
 pub mod ast;
 pub mod depgraph;
@@ -19,6 +20,7 @@ pub mod maintain;
 pub mod parser;
 pub mod program;
 
+pub use absint::{analyze_bounds, install_priors, Analysis, CardEnv, RuleBounds};
 pub use analyze::analyze;
 pub use ast::{Rule, TargetItem};
 pub use depgraph::DepGraph;

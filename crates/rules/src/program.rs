@@ -93,6 +93,8 @@ pub struct Program {
     pub queries: Vec<ProgramQuery>,
     /// Exported subdatabase names with their spans.
     pub exports: Vec<(String, Span)>,
+    /// Warning codes suppressed by `allow` directives (uppercased).
+    pub allows: Vec<String>,
 }
 
 /// One raw directive found by the line scanner.
@@ -101,6 +103,7 @@ enum Section {
     SchemaInline { text: String, offset: usize },
     Extern { names: Vec<(String, Span)> },
     Export { names: Vec<(String, Span)> },
+    Allow { codes: Vec<String> },
     Body { kind: BodyKind, name: String, header: Span, body_start: usize, body_end: usize },
 }
 
@@ -143,6 +146,7 @@ impl Program {
                     prog.externs.extend(names.into_iter().map(|(n, _)| n));
                 }
                 Section::Export { names } => prog.exports.extend(names),
+                Section::Allow { codes } => prog.allows.extend(codes),
                 Section::Body { kind, name, header, body_start, body_end } => {
                     let body = &source[body_start..body_end];
                     match kind {
@@ -275,6 +279,22 @@ fn scan(source: &str, diags: &mut Vec<Diagnostic>) -> Vec<Section> {
                     i += 1;
                 }
             }
+            "allow" => {
+                let codes: Vec<String> = trimmed["allow".len()..]
+                    .split_whitespace()
+                    .take_while(|w| !w.starts_with("--"))
+                    .map(|w| w.to_ascii_uppercase())
+                    .collect();
+                if codes.is_empty() {
+                    diags.push(
+                        Diagnostic::error("P001", "`allow` needs a diagnostic code")
+                            .with_span(Span::point(indent), source),
+                    );
+                } else {
+                    out.push(Section::Allow { codes });
+                }
+                i += 1;
+            }
             "export" | "extern" => {
                 let kw_len = lower.len();
                 let mut names = Vec::new();
@@ -366,7 +386,7 @@ fn is_directive(line: &str) -> bool {
     let t = line.trim_start();
     let w = first_word(t).to_ascii_lowercase();
     match w.as_str() {
-        "schema" | "export" | "extern" => true,
+        "schema" | "export" | "extern" | "allow" => true,
         "rule" | "query" => t[w.len()..].contains(':'),
         _ => false,
     }

@@ -34,6 +34,22 @@ if [ -n "$JSON_OUT" ]; then
     exit 1
 fi
 
+echo "== ci: diagnostic coverage (every emitted code has a golden) =="
+# Every diagnostic code the analyzer or abstract interpreter can emit
+# (and every code documented in the `rules::analyze` code table) must
+# appear in the tests/analyzer.rs goldens — new codes land with tests.
+MISSING=""
+for code in $(grep -ohE '"[EWP][0-9]{3}"' crates/rules/src/analyze.rs crates/rules/src/absint.rs | tr -d '"' | sort -u); do
+    grep -q "\"$code\"" tests/analyzer.rs || MISSING="$MISSING $code"
+done
+if [ -n "$MISSING" ]; then
+    echo "ci: diagnostic codes without goldens in tests/analyzer.rs:$MISSING" >&2
+    exit 1
+fi
+# The --explain/--allow surfaces stay wired to the code table.
+cargo run -q --release --bin doodlint -- --explain E017 > /dev/null
+cargo run -q --release --bin doodlint -- --strict --allow W108 --builtin > /dev/null
+
 echo "== ci: trace smoke (DOOD_TRACE=1 -> validate -> doodprof) =="
 TRACE_TMP="$(mktemp -d)"
 trap 'rm -rf "$TRACE_TMP" "${SMOKE_JSON:-}"' EXIT
@@ -93,6 +109,20 @@ if [ "${DOOD_E17_FULL:-0}" = "1" ]; then
     echo "== ci: e17 compile-speedup + plan-quality gates (DOOD_BENCH_STRICT=1) =="
     DOOD_BENCH_STRICT=1 DOOD_BENCH_JSON="$SMOKE_JSON" \
         cargo bench -p dood-bench --bench e17_compile
+fi
+
+echo "== ci: abstract-interpretation smoke (bench e19_absint) =="
+# Smoke mode exercises `analyze_bounds` over the builtin corpus and the
+# deterministic cold-start plan-quality experiment (static priors vs
+# warmed stats; the throughput verdict self-skips). Set DOOD_E19_FULL=1
+# to also run the timed bench with the per-rule throughput and
+# plan-quality gates enforced (DOOD_BENCH_STRICT=1).
+DOOD_BENCH_SMOKE=1 DOOD_BENCH_JSON="$SMOKE_JSON" \
+    cargo bench -p dood-bench --bench e19_absint
+if [ "${DOOD_E19_FULL:-0}" = "1" ]; then
+    echo "== ci: e19 absint throughput + cold-start plan gates (DOOD_BENCH_STRICT=1) =="
+    DOOD_BENCH_STRICT=1 DOOD_BENCH_JSON="$SMOKE_JSON" \
+        cargo bench -p dood-bench --bench e19_absint
 fi
 
 echo "ci: PASS"

@@ -1,7 +1,9 @@
 //! `doodlint` — the static analyzer CLI for `.dood` rule programs.
 //!
 //! ```text
-//! doodlint [--strict] [--json] [--schema NAME] [--builtin] [FILE.dood ...]
+//! doodlint [--strict] [--json] [--schema NAME] [--builtin] [--absint]
+//!          [--allow CODE]... [FILE.dood ...]
+//! doodlint --explain CODE
 //! ```
 //!
 //! Lints each program file (and, with `--builtin`, the built-in workload
@@ -14,22 +16,35 @@
 //! With `--json`, each diagnostic is printed to stdout as one JSON object
 //! per line ([`Diagnostic::to_json_line`]) and the summary moves to stderr;
 //! exit codes are unchanged.
+//!
+//! `--explain CODE` prints the documentation for one diagnostic code and
+//! exits. `--allow CODE` (repeatable) suppresses a warning code — it does
+//! not count toward `--strict` and equals an in-program `allow CODE`
+//! directive. `--absint` prints the abstract interpreter's per-rule bound
+//! table (slot cardinality, edge fan-out, extent and closure bounds) after
+//! each program's diagnostics.
 
 use dood_core::diag::{self, Diagnostic, Span};
 use dood_core::schema::text::parse_schema;
 use dood_core::schema::Schema;
-use dood_rules::analyze::analyze;
+use dood_rules::absint;
+use dood_rules::analyze::{analyze, codes, explain};
 use dood_rules::program::{Program, SchemaRef};
 use dood_workload::programs;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: doodlint [--strict] [--json] [--schema NAME] [--builtin] [FILE.dood ...]
+const USAGE: &str = "usage: doodlint [--strict] [--json] [--schema NAME] [--builtin]
+                [--absint] [--allow CODE]... [FILE.dood ...]
+       doodlint --explain CODE
   --strict       treat warnings as fatal
   --json         print one JSON object per diagnostic on stdout
                  (summary goes to stderr; exit codes unchanged)
   --schema NAME  default schema for programs without a `schema` header
                  (university | company | cad | fig31)
-  --builtin      also lint the built-in workload programs";
+  --builtin      also lint the built-in workload programs
+  --absint       print the static bound table per rule/query
+  --allow CODE   suppress a warning code (repeatable; ignored by --strict)
+  --explain CODE print the documentation for one diagnostic code";
 
 fn main() -> ExitCode {
     let mut files = Vec::new();
@@ -37,16 +52,59 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut default_schema: Option<String> = None;
     let mut builtin = false;
+    let mut absint_table = false;
+    let mut allows: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--strict" => strict = true,
             "--json" => json = true,
             "--builtin" => builtin = true,
+            "--absint" => absint_table = true,
             "--schema" => match args.next() {
                 Some(n) => default_schema = Some(n),
                 None => {
                     eprintln!("doodlint: `--schema` needs a name\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--allow" => match args.next() {
+                Some(c) => {
+                    let up = c.to_ascii_uppercase();
+                    if explain(&up).is_none() {
+                        eprintln!("doodlint: `--allow {c}`: unknown diagnostic code");
+                        return ExitCode::from(2);
+                    }
+                    allows.push(up);
+                }
+                None => {
+                    eprintln!("doodlint: `--allow` needs a code\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => match args.next() {
+                Some(c) => {
+                    return match explain(&c) {
+                        Some(doc) => {
+                            let sev = match doc.severity {
+                                diag::Severity::Error => "error",
+                                diag::Severity::Warning => "warning",
+                                diag::Severity::Note => "note",
+                            };
+                            println!("{} ({sev}): {}\n\n{}", doc.code, doc.summary, doc.detail);
+                            ExitCode::SUCCESS
+                        }
+                        None => {
+                            eprintln!("doodlint: unknown diagnostic code `{c}`; known codes:");
+                            for d in codes() {
+                                eprintln!("  {}  {}", d.code, d.summary);
+                            }
+                            ExitCode::from(2)
+                        }
+                    };
+                }
+                None => {
+                    eprintln!("doodlint: `--explain` needs a code\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -85,8 +143,14 @@ fn main() -> ExitCode {
         }
     }
 
+    let opts = LintOpts {
+        default_schema: default_schema.as_deref(),
+        json,
+        absint_table,
+        allows: &allows,
+    };
     for (file, src) in &sources {
-        let (e, w) = lint_one(file, src, default_schema.as_deref(), json);
+        let (e, w) = lint_one(file, src, &opts);
         errors += e;
         warnings += w;
     }
@@ -109,18 +173,36 @@ fn main() -> ExitCode {
     }
 }
 
+struct LintOpts<'a> {
+    default_schema: Option<&'a str>,
+    json: bool,
+    absint_table: bool,
+    allows: &'a [String],
+}
+
 /// Lint one program source; prints its diagnostics (text blocks, or one
 /// JSON object per line under `--json`), returns `(errors, warnings)`.
-fn lint_one(file: &str, src: &str, default_schema: Option<&str>, json: bool) -> (usize, usize) {
+fn lint_one(file: &str, src: &str, opts: &LintOpts<'_>) -> (usize, usize) {
     let (program, mut diags) = Program::parse(src);
-    match resolve_schema(&program, src, default_schema) {
+    let schema = match resolve_schema(&program, src, opts.default_schema) {
         Ok(schema) => {
             diags.extend(analyze(&program, &schema, &Default::default()));
+            Some(schema)
         }
-        Err(d) => diags.push(d),
+        Err(d) => {
+            diags.push(d);
+            None
+        }
+    };
+    // `--allow` composes with the program's own `allow` directives (the
+    // latter were already applied inside `analyze`).
+    if !opts.allows.is_empty() {
+        diags.retain(|d| {
+            d.severity != diag::Severity::Warning || !opts.allows.iter().any(|c| c == d.code)
+        });
     }
     diag::sort(&mut diags);
-    if json {
+    if opts.json {
         for d in &diags {
             println!("{}", d.to_json_line(file));
         }
@@ -128,6 +210,19 @@ fn lint_one(file: &str, src: &str, default_schema: Option<&str>, json: bool) -> 
         println!("{file}: OK");
     } else {
         println!("{}", diag::render_all(&diags, file, src));
+    }
+    if opts.absint_table && !opts.json {
+        if let Some(schema) = &schema {
+            if !diag::has_errors(&diags) {
+                let mut ext: dood_core::fxhash::FxHashSet<String> = Default::default();
+                ext.extend(program.externs.iter().cloned());
+                let analysis =
+                    absint::analyze_bounds(&program, schema, &ext, &absint::CardEnv::unknown());
+                for b in &analysis.rules {
+                    print!("{}", b.describe());
+                }
+            }
+        }
     }
     diag::counts(&diags)
 }

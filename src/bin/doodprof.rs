@@ -33,6 +33,7 @@
 use dood::core::diag;
 use dood::core::obs;
 use dood::core::obs::profile::Profile;
+use dood::rules::absint::{self, Analysis};
 use dood::rules::program::{Program, SchemaRef};
 use dood::rules::RuleEngine;
 use dood::store::Database;
@@ -154,6 +155,20 @@ fn main() -> ExitCode {
         }
     }
 
+    // `--plan` adds a static column: the abstract interpreter's worst-case
+    // row bounds over a snapshot of the loaded extents, matched to each
+    // join's slot span so static / estimated / measured line up per stage.
+    let analysis = plan.then(|| {
+        let mut ext: dood::core::fxhash::FxHashSet<String> = Default::default();
+        ext.extend(program.externs.iter().cloned());
+        absint::analyze_bounds(
+            &program,
+            engine.db().schema(),
+            &ext,
+            &absint::CardEnv::from_db(engine.db()),
+        )
+    });
+
     let mut failed = false;
     for (export, _) in &program.exports {
         let (rows, spans) = obs::trace::capture(|| engine.subdb(export).map(|sd| sd.len()));
@@ -162,7 +177,7 @@ fn main() -> ExitCode {
                 let profile = Profile::single(&spans);
                 emit("export", export, rows, &profile, json);
                 if plan {
-                    emit_plans("export", export, &profile, json);
+                    emit_plans("export", export, &profile, json, analysis.as_ref());
                 }
             }
             Err(e) => {
@@ -176,7 +191,7 @@ fn main() -> ExitCode {
             Ok((out, profile)) => {
                 emit("query", &pq.name, out.table.len(), &profile, json);
                 if plan {
-                    emit_plans("query", &pq.name, &profile, json);
+                    emit_plans("query", &pq.name, &profile, json, analysis.as_ref());
                 }
             }
             Err(e) => {
@@ -221,25 +236,57 @@ fn emit(kind: &str, name: &str, rows: usize, profile: &Profile, json: bool) {
 /// `--plan`: extract every compiled join pipeline from a profile tree —
 /// the `oql.join` nodes carrying `oql.plan.scan` / `oql.plan.step`
 /// children — plus every compiled closure fixpoint (`oql.closure` with
-/// its per-round frontier children), and print estimated vs. measured
-/// cardinalities per stage.
-fn emit_plans(kind: &str, name: &str, profile: &Profile, json: bool) {
-    fn collect<'a>(p: &'a Profile, out: &mut Vec<&'a Profile>, closures: &mut Vec<&'a Profile>) {
+/// its per-round frontier children), and print static (abstract
+/// interpretation) vs. estimated (cost model) vs. measured cardinalities
+/// per stage.
+fn emit_plans(kind: &str, name: &str, profile: &Profile, json: bool, analysis: Option<&Analysis>) {
+    // Each join is attributed to the nearest enclosing `rules.rule` span's
+    // label (the rule name) so its slot indices can be matched against the
+    // abstract interpreter's bounds; joins outside any rule span (query
+    // contexts) belong to the profiled section itself.
+    fn collect<'a>(
+        p: &'a Profile,
+        owner: &'a str,
+        out: &mut Vec<(&'a Profile, &'a str)>,
+        closures: &mut Vec<&'a Profile>,
+    ) {
+        let owner = if p.name == "rules.rule" {
+            p.label.as_deref().unwrap_or(owner)
+        } else {
+            owner
+        };
         if p.name == "oql.join" && p.children.iter().any(|c| c.name.starts_with("oql.plan.")) {
-            out.push(p);
+            out.push((p, owner));
         }
         if p.name == "oql.closure" {
             closures.push(p);
         }
         for c in &p.children {
-            collect(c, out, closures);
+            collect(c, owner, out, closures);
         }
     }
     let mut joins = Vec::new();
     let mut closures = Vec::new();
-    collect(profile, &mut joins, &mut closures);
-    for (ji, j) in joins.iter().enumerate() {
+    collect(profile, name, &mut joins, &mut closures);
+    for (ji, (j, owner)) in joins.iter().enumerate() {
         let a = |k: &str| j.attr(k).unwrap_or(-1);
+        let bounds = analysis.and_then(|an| an.bounds_for(owner));
+        // The static bound after each stage: the bound of the contiguous
+        // slot range the pipeline has covered so far.
+        let mut cur: Option<(usize, usize)> = None;
+        let mut static_of = |slot: i64| -> Option<f64> {
+            let b = bounds?;
+            let s = usize::try_from(slot).ok()?;
+            if s >= b.slot_hi.len() {
+                return None;
+            }
+            let (lo, hi) = match cur {
+                None => (s, s + 1),
+                Some((lo, hi)) => (lo.min(s), hi.max(s + 1)),
+            };
+            cur = Some((lo, hi));
+            Some(b.range_hi(lo, hi))
+        };
         if json {
             let mut stages = String::new();
             for (si, c) in
@@ -260,13 +307,19 @@ fn emit_plans(kind: &str, name: &str, profile: &Profile, json: bool) {
                 if let Some(s) = c.attr("scanned") {
                     stages.push_str(&format!(",\"scanned\":{s}"));
                 }
+                if let Some(st) = c.attr("slot").and_then(&mut static_of) {
+                    if st.is_finite() {
+                        stages.push_str(&format!(",\"static\":{}", st.round() as i64));
+                    }
+                }
                 stages.push('}');
             }
             println!(
-                "{{\"kind\":\"plan\",\"of\":\"{kind}\",\"name\":\"{}\",\"join\":{ji},\
-                 \"lo\":{},\"hi\":{},\"anchor\":{},\"rows_in\":{},\"rows_out\":{},\
-                 \"stages\":[{stages}]}}",
+                "{{\"kind\":\"plan\",\"of\":\"{kind}\",\"name\":\"{}\",\"owner\":\"{}\",\
+                 \"join\":{ji},\"lo\":{},\"hi\":{},\"anchor\":{},\"rows_in\":{},\
+                 \"rows_out\":{},\"stages\":[{stages}]}}",
                 obs::json_escape(name),
+                obs::json_escape(owner),
                 a("lo"),
                 a("hi"),
                 a("anchor"),
@@ -284,14 +337,19 @@ fn emit_plans(kind: &str, name: &str, profile: &Profile, json: bool) {
             );
             for c in j.children.iter().filter(|c| c.name.starts_with("oql.plan.")) {
                 let label = c.label.as_deref().unwrap_or("?");
+                let stat = c
+                    .attr("slot")
+                    .and_then(&mut static_of)
+                    .map(|s| format!(" static<={}", absint::show_bound(s)))
+                    .unwrap_or_default();
                 match c.name.as_str() {
                     "oql.plan.scan" => println!(
-                        "   scan {label}  est={} rows={}",
+                        "   scan {label} {stat} est={} rows={}",
                         c.attr("est").unwrap_or(-1),
                         c.attr("rows").unwrap_or(-1),
                     ),
                     _ => println!(
-                        "   step {label}  est={} scanned={} rows={}",
+                        "   step {label} {stat} est={} scanned={} rows={}",
                         c.attr("est").unwrap_or(-1),
                         c.attr("scanned").unwrap_or(-1),
                         c.attr("rows").unwrap_or(-1),

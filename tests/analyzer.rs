@@ -509,3 +509,258 @@ fn prop_accepted_programs_never_fail_evaluation() {
         engine.propagate().unwrap_or_else(|err| panic!("propagate: {err}"));
     });
 }
+
+// ---------------------------------------------------------------------
+// Abstract interpretation diagnostics (E017/E018, W108-W110)
+// ---------------------------------------------------------------------
+
+#[test]
+fn unsatisfiable_condition_e017() {
+    // c# < 5 and c# > 10 admits no integer.
+    let diags = lint(
+        "schema builtin university\n\
+         rule B:\n  if context Course [c# < 5 and c# > 10] * Section then X (Course)\n\
+         export X\n",
+    );
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["E017"]);
+    assert_eq!(diags[0].owner.as_deref(), Some("B"));
+    assert!(diags[0].message.contains("Course"));
+}
+
+#[test]
+fn unsatisfiable_integer_gap_e017() {
+    // Over Int, 5 < c# < 6 has no inhabitant — only integer narrowing
+    // catches this.
+    let diags = lint(
+        "schema builtin university\n\
+         rule B:\n  if context Course [c# > 5 and c# < 6] * Section then X (Course)\n\
+         export X\n",
+    );
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["E017"]);
+}
+
+#[test]
+fn where_contradicts_condition_e017() {
+    // The slot condition bounds c# below 5000; the WHERE demands > 6000.
+    let diags = lint(
+        "schema builtin university\n\
+         rule B:\n  if context Course [c# < 5000] * Section\n  where Course.c# > 6000\n  then X (Course)\n\
+         export X\n",
+    );
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["E017"]);
+    assert!(diags[0].message.contains("WHERE"));
+}
+
+#[test]
+fn impossible_count_threshold_e017() {
+    let diags = lint(
+        "schema builtin university\n\
+         rule B:\n  if context Department * Course * Section * Student\n  where count(Student by Course) < 0\n  then X (Course)\n\
+         export X\n",
+    );
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["E017"]);
+    assert!(diags[0].message.contains("count"));
+}
+
+#[test]
+fn social_unsatisfiable_score_e017() {
+    let diags = lint(
+        "schema builtin social\n\
+         rule B:\n  if context Person [score >= 50 and score < 40] ^* then X (Person, Person_*)\n\
+         export X\n",
+    );
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["E017"]);
+}
+
+#[test]
+fn reading_provably_empty_subdb_e018() {
+    // Ra's predicate is unsatisfiable, so REa is provably empty and Rb's
+    // read of it is statically dead: E017 on Ra, E018 on Rb.
+    let diags = lint(
+        "schema builtin company\n\
+         rule Ra:\n  if context Employee [salary > 10 and salary < 5] * Department then REa (Employee)\n\
+         rule Rb:\n  if context REa:Employee * Project then REb (Employee, Project)\n\
+         export REb\n",
+    );
+    let mut codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+    codes.sort_unstable();
+    assert_eq!(codes, vec!["E017", "E018"]);
+    let e018 = diags.iter().find(|d| d.code == "E018").unwrap();
+    assert_eq!(e018.owner.as_deref(), Some("Rb"));
+    assert!(e018.message.contains("REa"));
+}
+
+#[test]
+fn subsumed_where_w108() {
+    // c# < 5000 already holds from the slot condition; WHERE c# < 6000
+    // can never drop a pattern.
+    let diags = lint(
+        "schema builtin university\n\
+         rule B:\n  if context Course [c# < 5000] * Section\n  where Course.c# < 6000\n  then X (Course)\n\
+         export X\n",
+    );
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["W108"]);
+    assert_eq!(diags[0].owner.as_deref(), Some("B"));
+}
+
+#[test]
+fn vacuous_count_threshold_w108() {
+    let diags = lint(
+        "schema builtin university\n\
+         rule B:\n  if context Department * Course * Section * Student\n  where count(Student by Course) >= 0\n  then X (Course)\n\
+         export X\n",
+    );
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["W108"]);
+}
+
+#[test]
+fn unconstrained_wide_chain_w109() {
+    // Teaches and Enrolls are both Many-cardinality; no slot carries a
+    // condition, so the worst case is a full double fan-out.
+    let diags = lint(
+        "schema builtin university\n\
+         rule B:\n  if context Teacher * Section * Student then X (Teacher, Student)\n\
+         export X\n",
+    );
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["W109"]);
+    assert!(diags[0].message.contains("join blowup"));
+}
+
+#[test]
+fn constrained_wide_chain_has_no_w109() {
+    // The same chain with a narrowing condition is fine.
+    let diags = lint(
+        "schema builtin university\n\
+         rule B:\n  if context Teacher * Section [section# < 3] * Student then X (Teacher, Student)\n\
+         export X\n",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn dead_closure_levels_w110() {
+    // TA-Grad is a generalization identity both ways: the closure reaches
+    // fixpoint at level 1, so `^3` declares two provably dead levels.
+    let diags = lint(
+        "schema builtin university\n\
+         rule B:\n  if context TA * Grad ^3 then X (TA, TA_*)\n\
+         export X\n",
+    );
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["W110"]);
+    assert!(diags[0].message.contains("^3"));
+}
+
+#[test]
+fn association_closure_has_no_w110() {
+    // A closure over a real association (Follows) can reach any depth.
+    let diags = lint(
+        "schema builtin social\n\
+         rule B:\n  if context Person ^5 then X (Person, Person_*)\n\
+         export X\n",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------
+// `allow` directives and engine integration
+// ---------------------------------------------------------------------
+
+#[test]
+fn allow_directive_suppresses_warning() {
+    let diags = lint(
+        "schema builtin university\n\
+         allow W109\n\
+         rule B:\n  if context Teacher * Section * Student then X (Teacher, Student)\n\
+         export X\n",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn allow_directive_never_suppresses_errors() {
+    let diags = lint(
+        "schema builtin university\n\
+         allow E017\n\
+         rule B:\n  if context Course [c# < 5 and c# > 10] * Section then X (Course)\n\
+         export X\n",
+    );
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["E017"]);
+}
+
+#[test]
+fn allowed_warning_passes_strict_registration() {
+    let src = "schema builtin university\n\
+               allow W109\n\
+               rule B:\n  if context Teacher * Section * Student then X (Teacher, Student)\n\
+               export X\n";
+    let (prog, parse_diags) = Program::parse(src);
+    assert!(parse_diags.is_empty());
+    let db = university::populate(university::Size::small(), 7);
+    let mut engine = RuleEngine::new(db);
+    engine.set_strict(true);
+    engine.register(&prog).expect("allowed warning must not trip strict mode");
+    engine.derive("X").unwrap();
+}
+
+#[test]
+fn engine_rejects_statically_unsatisfiable_program() {
+    let src = "schema builtin university\n\
+               rule B:\n  if context Course [c# < 5 and c# > 10] * Section then X (Course)\n\
+               export X\n";
+    let (prog, parse_diags) = Program::parse(src);
+    assert!(parse_diags.is_empty());
+    let db = university::populate(university::Size::small(), 7);
+    let mut engine = RuleEngine::new(db);
+    match engine.register(&prog) {
+        Err(RuleError::Analysis(diags)) => {
+            assert!(diags.iter().any(|d| d.code == "E017"));
+        }
+        other => panic!("expected analysis rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_emitted_code_is_documented() {
+    use dood::rules::analyze::{codes, explain};
+    // The code table is the single source of truth: every code has an
+    // explain entry, codes are unique and ordered, lookups are
+    // case-insensitive.
+    let all = codes();
+    for w in all.windows(2) {
+        assert!(w[0].code < w[1].code, "{} !< {}", w[0].code, w[1].code);
+    }
+    for doc in all {
+        assert!(explain(doc.code).is_some());
+        assert!(explain(&doc.code.to_ascii_lowercase()).is_some());
+        assert!(!doc.summary.is_empty() && !doc.detail.is_empty());
+    }
+    assert!(explain("E999").is_none());
+}
+
+#[test]
+fn allow_without_code_p001() {
+    let (_, diags) = Program::parse("schema builtin university\n\nallow\n");
+    assert!(
+        diags.iter().any(|d| d.code == "P001"),
+        "bare `allow` should be a program error, got {diags:?}"
+    );
+}
+
+#[test]
+fn forward_reads_backward_w105() {
+    let db = university::populate(university::Size::small(), 7);
+    let mut engine = RuleEngine::new(db);
+    engine
+        .add_rule("Ra", "if context Teacher * Section then TS (Teacher, Section)")
+        .unwrap();
+    engine
+        .add_rule("Rb", "if context TS:Teacher * TS:Section then TS2 (Teacher)")
+        .unwrap();
+    engine.set_strategy("Ra", dood::rules::ChainStrategy::Backward);
+    engine.set_strategy("Rb", dood::rules::ChainStrategy::Forward);
+    let diags = engine.strategy_diagnostics();
+    assert!(
+        diags.iter().any(|d| d.code == "W105"),
+        "expected the forward-reads-backward lint, got {diags:?}"
+    );
+}
