@@ -58,14 +58,16 @@ fn report_from_json(paths: &[String]) -> usize {
     groups.dedup();
     for group in groups {
         println!("\n## {group}\n");
-        println!("| bench | median | p95 | mean | min | samples | iters |");
-        println!("|---|---|---|---|---|---|---|");
+        println!("| bench | median | p95 | p99 | max | mean | min | samples | iters |");
+        println!("|---|---|---|---|---|---|---|---|---|");
         for r in records.iter().filter(|r| r.group == group) {
             println!(
-                "| {} | {} | {} | {} | {} | {} | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
                 r.bench,
                 fmt_ns(r.median_ns),
                 fmt_ns(r.p95_ns),
+                fmt_ns(r.p99_ns),
+                fmt_ns(r.max_ns),
                 fmt_ns(r.mean_ns),
                 fmt_ns(r.min_ns),
                 r.samples,

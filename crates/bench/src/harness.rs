@@ -43,6 +43,11 @@ pub struct Record {
     pub median_ns: f64,
     /// 95th-percentile per-iteration time (nearest-rank).
     pub p95_ns: f64,
+    /// 99th-percentile per-iteration time (nearest-rank). Old result files
+    /// predate this field; parsing falls back to `p95_ns`.
+    pub p99_ns: f64,
+    /// Slowest per-iteration time. Old result files fall back to `p95_ns`.
+    pub max_ns: f64,
     /// Mean per-iteration time.
     pub mean_ns: f64,
     /// Fastest per-iteration time.
@@ -54,13 +59,16 @@ impl Record {
     pub fn to_json_line(&self) -> String {
         format!(
             "{{\"group\":{},\"bench\":{},\"iters\":{},\"samples\":{},\
-             \"median_ns\":{},\"p95_ns\":{},\"mean_ns\":{},\"min_ns\":{}}}",
+             \"median_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{},\
+             \"mean_ns\":{},\"min_ns\":{}}}",
             json_string(&self.group),
             json_string(&self.bench),
             self.iters,
             self.samples,
             self.median_ns,
             self.p95_ns,
+            self.p99_ns,
+            self.max_ns,
             self.mean_ns,
             self.min_ns,
         )
@@ -81,13 +89,18 @@ impl Record {
                 JsonVal::Str(_) => None,
             })
         };
+        let p95_ns = num_field("p95_ns")?;
         Some(Record {
             group: str_field("group")?,
             bench: str_field("bench")?,
             iters: num_field("iters")? as u64,
             samples: num_field("samples")? as usize,
             median_ns: num_field("median_ns")?,
-            p95_ns: num_field("p95_ns")?,
+            p95_ns,
+            // Files written before the tail statistics existed degrade to
+            // the p95 figure rather than failing to parse.
+            p99_ns: num_field("p99_ns").unwrap_or(p95_ns),
+            max_ns: num_field("max_ns").unwrap_or(p95_ns),
             mean_ns: num_field("mean_ns")?,
             min_ns: num_field("min_ns")?,
         })
@@ -207,6 +220,8 @@ impl Harness {
         let n = samples.len();
         let median_ns = samples[n / 2];
         let p95_ns = samples[(n * 95 / 100).min(n - 1)];
+        let p99_ns = samples[(n * 99 / 100).min(n - 1)];
+        let max_ns = samples[n - 1];
         let mean_ns = samples.iter().sum::<f64>() / n as f64;
         let min_ns = samples[0];
         let rec = Record {
@@ -216,15 +231,19 @@ impl Harness {
             samples: n,
             median_ns,
             p95_ns,
+            p99_ns,
+            max_ns,
             mean_ns,
             min_ns,
         };
         println!(
-            "{}/{:<24} median {:>12}  p95 {:>12}  ({} samples, {} iters)",
+            "{}/{:<24} median {:>12}  p95 {:>12}  p99 {:>12}  max {:>12}  ({} samples, {} iters)",
             rec.group,
             rec.bench,
             fmt_ns(rec.median_ns),
             fmt_ns(rec.p95_ns),
+            fmt_ns(rec.p99_ns),
+            fmt_ns(rec.max_ns),
             rec.samples,
             rec.iters
         );
@@ -397,6 +416,8 @@ mod tests {
             samples: 15,
             median_ns: 1234.5,
             p95_ns: 2000.0,
+            p99_ns: 2400.0,
+            max_ns: 2500.0,
             mean_ns: 1300.25,
             min_ns: 1100.0,
         }
@@ -407,6 +428,15 @@ mod tests {
         let r = record();
         let line = r.to_json_line();
         assert_eq!(Record::from_json_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn old_format_without_tail_stats_still_parses() {
+        let line = "{\"group\":\"g\",\"bench\":\"b\",\"iters\":10,\"samples\":5,\
+                    \"median_ns\":100,\"p95_ns\":200,\"mean_ns\":120,\"min_ns\":90}";
+        let r = Record::from_json_line(line).unwrap();
+        assert_eq!(r.p99_ns, 200.0);
+        assert_eq!(r.max_ns, 200.0);
     }
 
     #[test]

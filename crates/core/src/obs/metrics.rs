@@ -77,6 +77,7 @@ impl Gauge {
 pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
+    max: AtomicU64,
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
@@ -85,6 +86,7 @@ impl Default for Histogram {
         Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -104,6 +106,7 @@ impl Histogram {
     pub fn record(&self, v: u64) {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
         self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -115,6 +118,11 @@ impl Histogram {
     /// Sum of observations.
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (exact, not a bucket floor; 0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
     }
 
     /// The lower bound of the bucket containing the `pct`-th percentile
@@ -237,6 +245,8 @@ pub enum MetricSnapshot {
         count: u64,
         /// Observation sum.
         sum: u64,
+        /// Largest observation (exact).
+        max: u64,
         /// `(lower_bound, count)` for non-empty buckets.
         buckets: Vec<(u64, u64)>,
     },
@@ -266,6 +276,7 @@ pub fn snapshot() -> Vec<MetricSnapshot> {
                 name: name.clone(),
                 count: h.count(),
                 sum: h.sum(),
+                max: h.max(),
                 buckets: h.nonzero_buckets(),
             },
         })
@@ -283,6 +294,7 @@ pub fn reset_all() {
             Metric::Histogram(h) => {
                 h.count.store(0, Ordering::Relaxed);
                 h.sum.store(0, Ordering::Relaxed);
+                h.max.store(0, Ordering::Relaxed);
                 for b in &h.buckets {
                     b.store(0, Ordering::Relaxed);
                 }
@@ -291,9 +303,12 @@ pub fn reset_all() {
     }
 }
 
-/// Render a snapshot as aligned plain text (one metric per line;
-/// histograms report count, sum, integer mean, and p50/p95 bucket floors).
+/// Render a snapshot as aligned plain text (one metric per line, keys in
+/// sorted order; histograms report count, sum, integer mean, the p50/p95/
+/// p99 bucket floors, and the exact max).
 pub fn render_text(snaps: &[MetricSnapshot]) -> String {
+    let mut snaps: Vec<&MetricSnapshot> = snaps.iter().collect();
+    snaps.sort_by(|a, b| a.name().cmp(b.name()));
     let width = snaps.iter().map(|s| s.name().len()).max().unwrap_or(0);
     let mut out = String::new();
     for s in snaps {
@@ -304,11 +319,12 @@ pub fn render_text(snaps: &[MetricSnapshot]) -> String {
             MetricSnapshot::Gauge { name, value } => {
                 out.push_str(&format!("{name:width$}  {value}\n"));
             }
-            MetricSnapshot::Histogram { name, count, sum, buckets } => {
+            MetricSnapshot::Histogram { name, count, sum, max, buckets } => {
                 let mean = if *count > 0 { sum / count } else { 0 };
-                let (p50, p95) = percentiles_from_buckets(buckets, *count);
+                let (p50, p95, p99) = percentiles_from_buckets(buckets, *count);
                 out.push_str(&format!(
-                    "{name:width$}  count={count} sum={sum} mean={mean} p50>={p50} p95>={p95}\n"
+                    "{name:width$}  count={count} sum={sum} mean={mean} \
+                     p50>={p50} p95>={p95} p99>={p99} max={max}\n"
                 ));
             }
         }
@@ -316,8 +332,9 @@ pub fn render_text(snaps: &[MetricSnapshot]) -> String {
     out
 }
 
-/// `(p50_floor, p95_floor)` from a `(lower_bound, count)` bucket list.
-fn percentiles_from_buckets(buckets: &[(u64, u64)], total: u64) -> (u64, u64) {
+/// `(p50_floor, p95_floor, p99_floor)` from a `(lower_bound, count)`
+/// bucket list.
+pub fn percentiles_from_buckets(buckets: &[(u64, u64)], total: u64) -> (u64, u64, u64) {
     let floor = |pct: u64| -> u64 {
         if total == 0 {
             return 0;
@@ -332,7 +349,7 @@ fn percentiles_from_buckets(buckets: &[(u64, u64)], total: u64) -> (u64, u64) {
         }
         buckets.last().map_or(0, |&(lo, _)| lo)
     };
-    (floor(50), floor(95))
+    (floor(50), floor(95), floor(99))
 }
 
 /// Render a snapshot as JSON lines (one object per metric).
@@ -348,11 +365,13 @@ pub fn to_json_lines(snaps: &[MetricSnapshot]) -> String {
                 "{{\"metric\":\"{}\",\"kind\":\"gauge\",\"value\":{value}}}\n",
                 json_escape(name)
             )),
-            MetricSnapshot::Histogram { name, count, sum, buckets } => {
+            MetricSnapshot::Histogram { name, count, sum, max, buckets } => {
                 let b: Vec<String> =
                     buckets.iter().map(|(lo, c)| format!("[{lo},{c}]")).collect();
+                let (p50, p95, p99) = percentiles_from_buckets(buckets, *count);
                 out.push_str(&format!(
-                    "{{\"metric\":\"{}\",\"kind\":\"histogram\",\"count\":{count},\"sum\":{sum},\"buckets\":[{}]}}\n",
+                    "{{\"metric\":\"{}\",\"kind\":\"histogram\",\"count\":{count},\"sum\":{sum},\
+                     \"p50\":{p50},\"p95\":{p95},\"p99\":{p99},\"max\":{max},\"buckets\":[{}]}}\n",
                     json_escape(name),
                     b.join(",")
                 ));
@@ -417,11 +436,17 @@ mod tests {
         }
         assert_eq!(h.count(), 10);
         assert_eq!(h.sum(), 1_005_507);
+        assert_eq!(h.max(), 1_000_000);
         // p50 falls in the 100s bucket: [64,128).
         assert_eq!(h.percentile_floor(50), 64);
         assert!(h.percentile_floor(100) >= 524288);
         let buckets = h.nonzero_buckets();
         assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), 10);
+        // p99 of 10 observations is the last one's bucket floor.
+        let (p50, p95, p99) = percentiles_from_buckets(&buckets, h.count());
+        assert_eq!(p50, 64);
+        assert!(p99 >= p95 && p95 >= p50);
+        assert_eq!(p99, 524288);
     }
 
     #[test]
@@ -433,6 +458,13 @@ mod tests {
         let text = render_text(&snaps);
         assert!(text.contains("test.metrics.snap"));
         assert!(text.contains("count=") && text.contains("p95>="));
+        assert!(text.contains("p99>=") && text.contains("max="));
+        // Text exporter lines come out in sorted key order.
+        let keys: Vec<&str> =
+            text.lines().filter_map(|l| l.split_whitespace().next()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "metric text keys must be sorted");
         let json = to_json_lines(&snaps);
         let line = json
             .lines()
@@ -440,6 +472,7 @@ mod tests {
             .unwrap();
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"kind\":\"histogram\""));
+        assert!(line.contains("\"p99\":") && line.contains("\"max\":"));
     }
 
     #[test]

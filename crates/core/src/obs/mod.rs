@@ -19,17 +19,36 @@
 //! planner (DESIGN.md §10). It is an engine input, not an export surface,
 //! so it is not gated.
 //!
+//! Two production-observability pieces ride on top (DESIGN.md §13):
+//!
+//! * [`recorder`] — a bounded in-memory flight recorder: per-thread ring
+//!   stripes of the most recent closed spans, sequence-stamped for merged
+//!   dumps, so the evidence for an anomaly already exists when the
+//!   anomaly is noticed (`DOOD_FLIGHT=1`, capacity `DOOD_FLIGHT_CAP`,
+//!   anomaly dump path `DOOD_FLIGHT_DUMP`).
+//! * [`account`] — per-query/maintenance resource accounting
+//!   ([`account::QueryReport`]) and the slow-query log: runs exceeding
+//!   `DOOD_SLOWLOG_US` append a JSON-lines record (plan snapshot,
+//!   per-stage estimated vs. actual cardinalities) to
+//!   `DOOD_SLOWLOG_FILE` (default stderr).
+//!
 //! Everything is **off by default** and costs one relaxed atomic load per
-//! instrumentation site when disabled (verified by bench E15). Enabling:
+//! instrumentation site when disabled (verified by benches E15 and E20).
+//! Enabling:
 //!
 //! * `DOOD_TRACE=1` — stream span records as JSON lines to stderr, or to
 //!   the file named by `DOOD_TRACE_FILE`;
 //! * `DOOD_METRICS=1` — accumulate metrics (exported by the CLIs on exit);
-//! * programmatically: [`trace::capture`], [`trace::stream_to`], and
-//!   [`set_metrics_enabled`].
+//! * `DOOD_FLIGHT=1` — keep the flight-recorder ring populated;
+//! * `DOOD_SLOWLOG_US=N` — log queries/maintenance passes slower than N µs;
+//! * programmatically: [`trace::capture`], [`trace::stream_to`],
+//!   [`set_metrics_enabled`], [`recorder::set_enabled`], and
+//!   [`account::set_enabled`].
 
+pub mod account;
 pub mod metrics;
 pub mod profile;
+pub mod recorder;
 pub mod stats;
 pub mod trace;
 

@@ -19,7 +19,7 @@ use super::{json_escape, now_ns, thread_ord, trace_gate_set};
 use crate::fxhash::FxHashMap;
 use std::cell::RefCell;
 use std::io::Write;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// One closed span, as exported.
@@ -100,7 +100,7 @@ impl SpanRecord {
     /// nested integer map), so the trace validator needs no JSON
     /// dependency.
     pub fn from_json_line(line: &str) -> Result<SpanRecord, String> {
-        let mut p = JsonParser { b: line.as_bytes(), i: 0 };
+        let mut p = JsonParser::new(line);
         p.expect(b'{')?;
         let mut rec = SpanRecord {
             id: 0,
@@ -176,20 +176,25 @@ impl SpanRecord {
     }
 }
 
-/// A tiny cursor-based parser for the span-record JSON shape.
-struct JsonParser<'a> {
+/// A tiny cursor-based parser for the span-record JSON shape (shared with
+/// the [`super::account`] report parser).
+pub(super) struct JsonParser<'a> {
     b: &'a [u8],
     i: usize,
 }
 
-impl JsonParser<'_> {
-    fn ws(&mut self) {
+impl<'a> JsonParser<'a> {
+    pub(super) fn new(line: &'a str) -> Self {
+        JsonParser { b: line.as_bytes(), i: 0 }
+    }
+
+    pub(super) fn ws(&mut self) {
         while self.b.get(self.i).is_some_and(|c| c.is_ascii_whitespace()) {
             self.i += 1;
         }
     }
 
-    fn eat(&mut self, c: u8) -> bool {
+    pub(super) fn eat(&mut self, c: u8) -> bool {
         if self.b.get(self.i) == Some(&c) {
             self.i += 1;
             true
@@ -207,7 +212,7 @@ impl JsonParser<'_> {
         }
     }
 
-    fn expect(&mut self, c: u8) -> Result<(), String> {
+    pub(super) fn expect(&mut self, c: u8) -> Result<(), String> {
         if self.eat(c) {
             Ok(())
         } else {
@@ -215,7 +220,24 @@ impl JsonParser<'_> {
         }
     }
 
-    fn integer(&mut self) -> Result<i64, String> {
+    /// A JSON number as f64 (integer, fraction, exponent).
+    pub(super) fn number(&mut self) -> Result<f64, String> {
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("expected number at byte {start}"));
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        s.parse().map_err(|e| format!("bad number `{s}`: {e}"))
+    }
+
+    pub(super) fn integer(&mut self) -> Result<i64, String> {
         let neg = self.eat(b'-');
         let start = self.i;
         while self.b.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
@@ -229,7 +251,7 @@ impl JsonParser<'_> {
         Ok(if neg { -v } else { v })
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    pub(super) fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
@@ -303,11 +325,16 @@ fn stream() -> &'static Mutex<Option<Box<dyn Write + Send>>> {
     S.get_or_init(|| Mutex::new(None))
 }
 
+/// Mirrors `stream().is_some()` so the emit hot path (every closed span
+/// when only the flight recorder is on) can skip the writer mutex.
+static STREAM_ON: AtomicBool = AtomicBool::new(false);
+
 /// First-read initializer for the trace gate: honours `DOOD_TRACE` /
-/// `DOOD_TRACE_FILE`, installing a stream writer when requested.
+/// `DOOD_TRACE_FILE`, installing a stream writer when requested, and folds
+/// in the flight recorder (`DOOD_FLIGHT`) — recorded spans must be live.
 pub(super) fn env_init() -> bool {
     if !super::env_flag("DOOD_TRACE") {
-        return false;
+        return super::recorder::is_enabled();
     }
     let mut w = stream().lock().unwrap();
     if w.is_none() {
@@ -321,19 +348,21 @@ pub(super) fn env_init() -> bool {
             },
             Err(_) => Box::new(std::io::stderr()),
         });
+        STREAM_ON.store(true, Ordering::Relaxed);
     }
     true
 }
 
 /// Recompute the trace gate from its inputs (env stream, explicit stream,
-/// active captures).
-fn recompute_gate() {
+/// active captures, the flight recorder).
+pub(super) fn recompute_gate() {
     // Fold the environment in first so dropping the last capture cannot
     // mask a `DOOD_TRACE=1` stream that was never initialized.
     let env_on = super::trace_enabled();
     let on = env_on
         || CAPTURE_DEPTH.load(Ordering::SeqCst) > 0
-        || stream().lock().unwrap().is_some();
+        || stream().lock().unwrap().is_some()
+        || super::recorder::is_enabled();
     trace_gate_set(on);
 }
 
@@ -342,6 +371,7 @@ fn recompute_gate() {
 pub fn stream_to(w: Box<dyn Write + Send>) {
     let _ = super::trace_enabled(); // settle env state first
     *stream().lock().unwrap() = Some(w);
+    STREAM_ON.store(true, Ordering::Relaxed);
     trace_gate_set(true);
 }
 
@@ -360,6 +390,7 @@ pub fn stop_stream() {
             let _ = w.flush();
         }
         *w = None;
+        STREAM_ON.store(false, Ordering::Relaxed);
     }
     recompute_gate();
 }
@@ -484,13 +515,24 @@ impl Drop for Span {
 }
 
 fn emit(rec: SpanRecord) {
-    {
+    if STREAM_ON.load(Ordering::Relaxed) {
         let mut w = stream().lock().unwrap();
         if let Some(w) = w.as_mut() {
             let _ = writeln!(w, "{}", rec.to_json_line());
         }
     }
-    if CAPTURE_DEPTH.load(Ordering::SeqCst) > 0 {
+    let capturing = CAPTURE_DEPTH.load(Ordering::SeqCst) > 0;
+    if super::recorder::is_enabled() {
+        if capturing {
+            super::recorder::record(&rec);
+        } else {
+            // The ring is the only consumer: move the record instead of
+            // cloning its name/label/attr allocations.
+            super::recorder::record_owned(rec);
+            return;
+        }
+    }
+    if capturing {
         sink().lock().unwrap().push(rec);
     }
 }
@@ -560,10 +602,29 @@ pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<SpanRecord>) {
 pub struct TraceStats {
     /// Number of span records.
     pub spans: usize,
-    /// Records with no in-trace parent.
+    /// Records with no in-trace parent (including severed links).
     pub roots: usize,
     /// Deepest parent chain within the trace.
     pub max_depth: usize,
+    /// Parent links severed by [`ValidateMode::Flight`] (ordering or
+    /// nesting violations tolerated as truncation artifacts; always 0 in
+    /// strict mode).
+    pub severed: usize,
+}
+
+/// How strictly [`validate_trace_with`] treats structural violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidateMode {
+    /// A complete `DOOD_TRACE=1` export: ordering or nesting violations
+    /// are errors.
+    Strict,
+    /// A flight-recorder ring dump: the window may begin mid-span and
+    /// per-thread stripes may truncate independently, so a parent link
+    /// that violates ordering or nesting is *severed* (the child becomes
+    /// a root, counted in [`TraceStats::severed`]) instead of failing the
+    /// whole trace. Parse errors and duplicate ids still fail — the ring
+    /// only ever holds whole, unique records.
+    Flight,
 }
 
 /// Validate a JSON-lines trace export (as produced under `DOOD_TRACE=1`):
@@ -571,6 +632,12 @@ pub struct TraceStats {
 /// before its parent (children precede parents in the export), and child
 /// intervals nest inside their parent's interval.
 pub fn validate_trace(text: &str) -> Result<TraceStats, String> {
+    validate_trace_with(text, ValidateMode::Strict)
+}
+
+/// [`validate_trace`] with an explicit tolerance mode (see
+/// [`ValidateMode`]).
+pub fn validate_trace_with(text: &str, mode: ValidateMode) -> Result<TraceStats, String> {
     let mut recs: Vec<SpanRecord> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -587,6 +654,9 @@ pub fn validate_trace(text: &str) -> Result<TraceStats, String> {
         }
     }
     let mut roots = 0usize;
+    let mut severed = 0usize;
+    // Resolved parent index per record; `None` for roots and severed links.
+    let mut link: Vec<Option<usize>> = vec![None; recs.len()];
     for (i, r) in recs.iter().enumerate() {
         let Some(pid) = r.parent else {
             roots += 1;
@@ -600,44 +670,58 @@ pub fn validate_trace(text: &str) -> Result<TraceStats, String> {
         };
         let p = &recs[pi];
         if pi < i {
-            return Err(format!(
-                "span {} closed after its parent {} (child lines must precede parents)",
-                r.id, pid
-            ));
+            match mode {
+                ValidateMode::Strict => {
+                    return Err(format!(
+                        "span {} closed after its parent {} (child lines must precede parents)",
+                        r.id, pid
+                    ));
+                }
+                ValidateMode::Flight => {
+                    severed += 1;
+                    roots += 1;
+                    continue;
+                }
+            }
         }
         if r.start_ns < p.start_ns || r.end_ns() > p.end_ns() {
-            return Err(format!(
-                "span {} [{}..{}] escapes parent {} [{}..{}]",
-                r.id,
-                r.start_ns,
-                r.end_ns(),
-                pid,
-                p.start_ns,
-                p.end_ns()
-            ));
-        }
-    }
-    // Depth via parent chains (cycle-guarded by the uniqueness check plus
-    // a hop cap).
-    let mut max_depth = 0usize;
-    for r in &recs {
-        let mut d = 1usize;
-        let mut cur = r.parent;
-        while let Some(p) = cur {
-            match by_id.get(&p) {
-                Some(&pi) => {
-                    d += 1;
-                    if d > recs.len() + 1 {
-                        return Err(format!("parent cycle through span {}", r.id));
-                    }
-                    cur = recs[pi].parent;
+            match mode {
+                ValidateMode::Strict => {
+                    return Err(format!(
+                        "span {} [{}..{}] escapes parent {} [{}..{}]",
+                        r.id,
+                        r.start_ns,
+                        r.end_ns(),
+                        pid,
+                        p.start_ns,
+                        p.end_ns()
+                    ));
                 }
-                None => break,
+                ValidateMode::Flight => {
+                    severed += 1;
+                    roots += 1;
+                    continue;
+                }
             }
+        }
+        link[i] = Some(pi);
+    }
+    // Depth via the resolved links (acyclic — every surviving link points
+    // to a later line — but hop-capped anyway).
+    let mut max_depth = 0usize;
+    for i in 0..recs.len() {
+        let mut d = 1usize;
+        let mut cur = link[i];
+        while let Some(pi) = cur {
+            d += 1;
+            if d > recs.len() + 1 {
+                return Err(format!("parent cycle through span {}", recs[i].id));
+            }
+            cur = link[pi];
         }
         max_depth = max_depth.max(d);
     }
-    Ok(TraceStats { spans: recs.len(), roots, max_depth })
+    Ok(TraceStats { spans: recs.len(), roots, max_depth, severed })
 }
 
 #[cfg(test)]
@@ -767,8 +851,64 @@ mod tests {
         assert_eq!(stats.spans, 2);
         assert_eq!(stats.roots, 1);
         assert_eq!(stats.max_depth, 2);
-        // start-order export violates close-before-parent and is rejected.
+        // start-order export violates close-before-parent and is rejected
+        // strictly — but flight mode severs the bad link instead.
         assert!(validate_trace(&text).is_err());
+        let lenient = validate_trace_with(&text, ValidateMode::Flight).unwrap();
+        assert_eq!(lenient.spans, 2);
+        assert_eq!(lenient.severed, 1);
+        assert_eq!(lenient.roots, 2);
+    }
+
+    #[test]
+    fn flight_mode_tolerates_truncated_forests() {
+        let ((), spans) = capture(|| {
+            let _a = span("test.trunc.outer");
+            let _b = span("test.trunc.mid");
+            let _c = span("test.trunc.inner");
+        });
+        let mut by_close: Vec<&SpanRecord> = spans.iter().collect();
+        by_close.sort_by_key(|r| (r.end_ns(), std::cmp::Reverse(r.id)));
+        // A ring dump that lost the oldest record (the innermost span
+        // closed first): the remaining spans still validate in both modes
+        // (missing parents are roots), and dropping a *middle* record
+        // leaves the inner span pointing at a gone parent — also fine.
+        let tail: String =
+            by_close[1..].iter().map(|s| s.to_json_line() + "\n").collect();
+        let stats = validate_trace_with(&tail, ValidateMode::Flight).unwrap();
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.severed, 0);
+        let gap: String = [by_close[0], by_close[2]]
+            .iter()
+            .map(|s| s.to_json_line() + "\n")
+            .collect();
+        let stats = validate_trace_with(&gap, ValidateMode::Flight).unwrap();
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.roots, 2, "orphaned child counts as a root");
+        // An interval-escaping child is severed, not fatal.
+        let parent = SpanRecord {
+            id: 900_001,
+            parent: None,
+            thread: 0,
+            name: "p".into(),
+            label: None,
+            start_ns: 100,
+            dur_ns: 10,
+            attrs: vec![],
+        };
+        let child = SpanRecord {
+            id: 900_002,
+            parent: Some(900_001),
+            start_ns: 90,
+            dur_ns: 5,
+            name: "c".into(),
+            ..parent.clone()
+        };
+        let text = format!("{}\n{}\n", child.to_json_line(), parent.to_json_line());
+        assert!(validate_trace(&text).is_err());
+        let stats = validate_trace_with(&text, ValidateMode::Flight).unwrap();
+        assert_eq!(stats.severed, 1);
+        assert_eq!(stats.max_depth, 1);
     }
 
     #[test]

@@ -79,6 +79,7 @@ impl Oql {
         q: &Query,
     ) -> Result<QueryOutput, QueryError> {
         let mut sp = obs::trace::span("oql.query");
+        let _acct = obs::account::begin("query", || context_label(&q.context));
         let subdb = eval_context(&q.context, &q.where_, db, registry, "Context")?;
         let table = build_table(&subdb, &q.select, db)?;
         let mut op_results = Vec::with_capacity(q.ops.len());
@@ -129,9 +130,47 @@ pub fn eval_context(
     name: &str,
 ) -> Result<Subdatabase, QueryError> {
     let resolved = resolve_context(context, db.schema(), registry)?;
-    let mut sd = Evaluator::new(&resolved, db, registry)?.eval(name);
+    let ev = Evaluator::new(&resolved, db, registry)?;
+    if let Some(a) = obs::account::active() {
+        a.set_plan(ev.plan_handle().describe());
+    }
+    let mut sd = ev.eval(name);
     apply_where(&mut sd, where_, db)?;
     Ok(sd)
+}
+
+/// A compact one-line label for a context expression, used as the
+/// accounting label in query reports and the slow-query log.
+pub fn context_label(context: &crate::ast::ContextExpr) -> String {
+    use crate::ast::{Item, Seq};
+    fn seq(s: &Seq, out: &mut String) {
+        item(&s.first, out);
+        for (op, it) in &s.rest {
+            out.push(' ');
+            out.push_str(&op.to_string());
+            out.push(' ');
+            item(it, out);
+        }
+    }
+    fn item(i: &Item, out: &mut String) {
+        match i {
+            Item::Class { class, .. } => out.push_str(&class.to_string()),
+            Item::Group(g) => {
+                out.push('{');
+                seq(g, out);
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    seq(&context.seq, &mut out);
+    if let Some(c) = &context.closure {
+        match c.iterations {
+            Some(n) => out.push_str(&format!(" ^{n}")),
+            None => out.push_str(" ^*"),
+        }
+    }
+    out
 }
 
 #[cfg(test)]

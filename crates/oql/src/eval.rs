@@ -262,6 +262,24 @@ const DEFAULT_SEL_COND: f64 = 0.33;
 /// candidate sets produce noisy ratios.
 const STAT_MIN_SCAN: usize = 4;
 
+/// Support thresholds for the plan-drift watchdog (DESIGN.md §13): an
+/// observation must rest on at least this many input rows (fan-out) or
+/// scanned candidates (selectivity) before a band breach counts as drift.
+/// Higher than [`STAT_MIN_SCAN`] — a false stat nudges an average, a
+/// false drift flag forces a re-plan.
+const DRIFT_MIN_ROWS: f64 = 8.0;
+const DRIFT_MIN_SCAN: u64 = 16;
+
+/// Whether `observed` sits outside the drift band around `planned`
+/// (ratio beyond `DOOD_DRIFT_BAND` in either direction; values are
+/// floored at a small epsilon so zero-estimates don't divide away).
+fn drift_exceeds(observed: f64, planned: f64) -> bool {
+    const EPS: f64 = 1e-2;
+    let band = crate::plan::drift_band();
+    let ratio = observed.max(EPS) / planned.max(EPS);
+    ratio > band || ratio < 1.0 / band
+}
+
 /// Lower a resolved context to its compiled form: gather cost-model
 /// inputs (observed stats where present, schema-derived estimates
 /// otherwise), pre-direct base edges, and order every retention span
@@ -876,7 +894,10 @@ impl<'a> Evaluator<'a> {
         // Feed the planner: per-stage fan-out (neighbors per input row)
         // and acceptance (survivors per neighbor) for association stages.
         // `!` stages get their target selectivity from the hoisted
-        // candidate scan above.
+        // candidate scan above. The same observations drive the plan-drift
+        // watchdog: when they leave the band around the values the cost
+        // model planned with, the plan is marked for re-planning.
+        let acct = obs::account::active();
         let mut rows_in = cands.len() as f64;
         for (i, st) in sp.steps.iter().enumerate() {
             if !st.nonassoc {
@@ -891,8 +912,48 @@ impl<'a> Evaluator<'a> {
                         stats::observe(sk, kept[i] as f64 / scanned[i] as f64);
                     }
                 }
+                if rows_in >= DRIFT_MIN_ROWS {
+                    let observed = scanned[i] as f64 / rows_in;
+                    let planned = if st.forward {
+                        self.plan.inputs.fwd_fan[st.edge]
+                    } else {
+                        self.plan.inputs.rev_fan[st.edge]
+                    };
+                    if drift_exceeds(observed, planned) {
+                        self.note_drift(st, "fan", observed, planned, &acct);
+                    }
+                }
+                if scanned[i] >= DRIFT_MIN_SCAN {
+                    let observed = kept[i] as f64 / scanned[i] as f64;
+                    let planned = self.plan.inputs.sels[st.to_slot];
+                    if drift_exceeds(observed, planned) {
+                        self.note_drift(st, "sel", observed, planned, &acct);
+                    }
+                }
             }
             rows_in = kept[i] as f64;
+        }
+        if let Some(a) = &acct {
+            a.add_rows_scanned(cands.len() as u64 + scanned.iter().sum::<u64>());
+            a.add_stage(
+                format!("scan {}", self.plan.slot_names[sp.anchor]),
+                sp.est_anchor,
+                cands.len() as u64,
+                cands.len() as u64,
+            );
+            for (i, st) in sp.steps.iter().enumerate() {
+                a.add_stage(
+                    format!(
+                        "step {}{}{}",
+                        self.plan.slot_names[st.from_slot],
+                        if st.nonassoc { "!" } else { "->" },
+                        self.plan.slot_names[st.to_slot]
+                    ),
+                    st.est_rows,
+                    scanned[i],
+                    kept[i],
+                );
+            }
         }
         if tsp.on() {
             let mut c = obs::trace::span("oql.plan.scan");
@@ -923,6 +984,36 @@ impl<'a> Evaluator<'a> {
             obs::metrics::counter("oql.join.rows_out").add(rows.len() as u64);
         }
         rows
+    }
+
+    /// One drift-band breach: count the `oql.plan.drift` metric and the
+    /// active account's drift events, mark the shared plan for
+    /// re-planning, and print the runtime diagnostic once per plan.
+    #[cold]
+    fn note_drift(
+        &self,
+        st: &crate::plan::PlanStep,
+        what: &str,
+        observed: f64,
+        planned: f64,
+        acct: &Option<Arc<dood_core::obs::account::Account>>,
+    ) {
+        if obs::metrics_enabled() {
+            obs::metrics::counter("oql.plan.drift").inc();
+        }
+        if let Some(a) = acct {
+            a.add_drift_event();
+        }
+        self.plan.drift.record();
+        if self.plan.drift.should_report() {
+            eprintln!(
+                "oql: plan drift on step {}->{}: observed {what}={observed:.3} vs \
+                 planned {planned:.3} (band {:.1}); plan marked for re-planning",
+                self.plan.slot_names[st.from_slot],
+                self.plan.slot_names[st.to_slot],
+                crate::plan::drift_band(),
+            );
+        }
     }
 
     /// The compiled span pipeline over a subset of the anchor's
@@ -1029,6 +1120,9 @@ impl<'a> Evaluator<'a> {
         sp.attr("anchor", anchor as i64);
         let cands = self.candidates(anchor);
         sp.attr("rows_in", cands.len() as i64);
+        if let Some(a) = obs::account::active() {
+            a.add_rows_scanned(cands.len() as u64);
+        }
         let rows = if self.pool.is_sequential(cands.len()) {
             self.join_span_rows(&cands, lo, hi, anchor)
         } else {
@@ -1160,6 +1254,9 @@ impl<'a> Evaluator<'a> {
             },
         };
         sp.attr("rows_out", sd.len() as i64);
+        if let Some(a) = obs::account::active() {
+            a.add_patterns_built(sd.len() as u64);
+        }
         sd
     }
 
@@ -1418,6 +1515,10 @@ impl<'a> Evaluator<'a> {
         if obs::metrics_enabled() {
             obs::metrics::counter("oql.closure.steps").add(steps);
         }
+        if let Some(a) = obs::account::active() {
+            a.add_closure_rounds(rounds);
+            a.add_rows_scanned(steps);
+        }
     }
 
     /// DFS the successor relation from `roots`, emitting the maximal
@@ -1527,6 +1628,9 @@ impl<'a> Evaluator<'a> {
         sp.label(|| name.to_string());
         let (sd, state) = self.eval_closure_kernel(name, &mut sp);
         sp.attr("rows_out", sd.len() as i64);
+        if let Some(a) = obs::account::active() {
+            a.add_patterns_built(sd.len() as u64);
+        }
         (sd, state)
     }
 

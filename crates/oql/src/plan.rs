@@ -26,6 +26,8 @@
 use crate::eval::{CPred, IndexScan};
 use dood_core::ids::AssocId;
 use dood_core::schema::ResolvedEdge;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Spans no wider than this are planned by exhaustive enumeration
 /// (`n · 2^(n-1)` orders ≤ 2304 cost evaluations); wider spans fall back
@@ -199,6 +201,60 @@ pub struct SpanPlan {
     pub steps: Vec<PlanStep>,
 }
 
+/// The plan-drift watchdog's per-plan state (DESIGN.md §13). Shared
+/// through an `Arc` so clones of a [`CompiledContext`] observe the same
+/// mark: the executor flags it when observed fan-outs/selectivities leave
+/// the band around the values the cost model planned with, and
+/// `rules::maintain` re-plans a flagged cache entry on its next
+/// evaluation instead of reusing the stale order.
+#[derive(Debug, Default)]
+pub struct DriftMark {
+    flagged: AtomicBool,
+    reported: AtomicBool,
+    events: AtomicU64,
+}
+
+/// The drift band: a plan is flagged when an observed fan-out or
+/// selectivity differs from the planned value by more than this ratio in
+/// either direction (`DOOD_DRIFT_BAND`, default 4.0, min 1.5).
+pub fn drift_band() -> f64 {
+    static BAND: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *BAND.get_or_init(|| {
+        std::env::var("DOOD_DRIFT_BAND")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|b| b.is_finite())
+            .map(|b| b.max(1.5))
+            .unwrap_or(4.0)
+    })
+}
+
+impl DriftMark {
+    /// Record one band breach. Returns `true` the first time this plan is
+    /// flagged (callers emit the `oql.plan.drift` metric per event and the
+    /// runtime diagnostic once).
+    pub fn record(&self) -> bool {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        !self.flagged.swap(true, Ordering::Relaxed)
+    }
+
+    /// Whether the plan has drifted out of its band since it was chosen.
+    pub fn flagged(&self) -> bool {
+        self.flagged.load(Ordering::Relaxed)
+    }
+
+    /// Whether the runtime diagnostic for this plan is still unprinted
+    /// (flips on first call).
+    pub fn should_report(&self) -> bool {
+        !self.reported.swap(true, Ordering::Relaxed)
+    }
+
+    /// Total band breaches recorded against this plan.
+    pub fn events(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+}
+
 /// A fully compiled context: predicates, index hints, owned edge info, and
 /// a cost-ordered [`SpanPlan`] per retention span. Owns everything, so it
 /// is cached per rule (behind an `Arc`) and reused across delta steps.
@@ -220,6 +276,8 @@ pub struct CompiledContext {
     pub inputs: PlanInputs,
     /// The planner mode the spans were ordered with.
     pub mode: PlannerMode,
+    /// The drift watchdog's mark, shared across clones of this plan.
+    pub drift: Arc<DriftMark>,
 }
 
 /// Everything the evaluator hands to [`compile`] besides the cost inputs.
@@ -260,6 +318,7 @@ pub(crate) fn compile(
         closure,
         inputs,
         mode,
+        drift: Arc::new(DriftMark::default()),
     }
 }
 

@@ -19,7 +19,9 @@ use crate::ast::Rule;
 use crate::depgraph::DepGraph;
 use crate::derive::{apply_rule, layouts_compatible};
 use crate::error::RuleError;
-use crate::maintain::{delta_apply, dirty_closure, plan_for, seed_cache, MaintainPlan, RuleCache};
+use crate::maintain::{
+    delta_apply, dirty_closure, plan_for, seed_cache, DeltaOutcome, MaintainPlan, RuleCache,
+};
 use crate::parser::parse_rule;
 use crate::program::Program;
 use dood_core::diag::Diagnostic;
@@ -486,10 +488,14 @@ impl RuleEngine {
         if let (Some(cache), Some(dirty)) =
             (self.caches.get_mut(&rule.name), self.current_dirty.as_ref())
         {
-            if sources_known && cache.at_seq >= self.dirty_from {
-                delta_apply(rule, &self.db, &self.registry, cache, dirty)?;
+            if sources_known && cache.at_seq >= self.dirty_from && !cache.needs_replan() {
+                let out = delta_apply(rule, &self.db, &self.registry, cache, dirty)?;
+                account_delta(&out);
                 return Ok(cache.target.clone());
             }
+        }
+        if self.caches.get(&rule.name).is_some_and(RuleCache::needs_replan) {
+            note_replan();
         }
         let cache = seed_cache(rule, &self.db, &self.registry)?;
         let target = cache.target.clone();
@@ -517,6 +523,8 @@ impl RuleEngine {
             sp.attr("rederived", 0);
             return Ok(Vec::new());
         }
+        let _acct =
+            obs::account::begin("maintain", || format!("propagate events={}", events.len()));
         self.stale_skips.clear();
         self.unknown.clear();
         self.dirty_from = prev_watermark;
@@ -844,7 +852,11 @@ impl RuleEngine {
                 && state.entry.is_some()
             {
                 if let Some(cache) = state.caches.get_mut(&rule.name) {
-                    let step_dirty = if cache.at_seq >= self.dirty_from {
+                    let step_dirty = if cache.needs_replan() {
+                        // Drift-flagged plan: fall through to the general
+                        // path, which re-seeds (and thereby re-plans).
+                        None
+                    } else if cache.at_seq >= self.dirty_from {
                         Some(std::borrow::Cow::Borrowed(dirty))
                     } else if cache.at_seq >= self.db.events().dropped() {
                         // The cache predates this batch: the subdatabase sat
@@ -868,6 +880,7 @@ impl RuleEngine {
                     if let Some(step_dirty) = step_dirty {
                         let out =
                             delta_apply(rule, &self.db, &self.registry, cache, &step_dirty)?;
+                        account_delta(&out);
                         let (mut sd, derived_at) = state.entry.take().expect("checked above");
                         if sd.intension.width() != cache.target.intension.width() {
                             // A closure delta that changed the longest
@@ -908,14 +921,20 @@ impl RuleEngine {
             } else {
                 let sources_known = rule.reads().iter().all(|r| !self.unknown.contains(r));
                 let stepped = match state.caches.get_mut(&rule.name) {
-                    Some(c) if sources_known && c.at_seq >= self.dirty_from => {
-                        delta_apply(rule, &self.db, &self.registry, c, dirty)?;
+                    Some(c)
+                        if sources_known
+                            && c.at_seq >= self.dirty_from
+                            && !c.needs_replan() =>
+                    {
+                        let out = delta_apply(rule, &self.db, &self.registry, c, dirty)?;
+                        account_delta(&out);
                         true
                     }
                     Some(c)
                         if sources_known
                             && state.entry.is_some()
-                            && c.at_seq >= self.db.events().dropped() =>
+                            && c.at_seq >= self.db.events().dropped()
+                            && !c.needs_replan() =>
                     {
                         // Same sat-out replay as the hot path, for a rule
                         // inside a multi-rule union.
@@ -927,12 +946,16 @@ impl RuleEngine {
                             .flat_map(|e| e.touched_oids());
                         let mut full_dirty = dirty_closure(&self.db, replay);
                         full_dirty.extend(dirty.iter().copied());
-                        delta_apply(rule, &self.db, &self.registry, c, &full_dirty)?;
+                        let out = delta_apply(rule, &self.db, &self.registry, c, &full_dirty)?;
+                        account_delta(&out);
                         true
                     }
                     _ => false,
                 };
                 if !stepped {
+                    if state.caches.get(&rule.name).is_some_and(RuleCache::needs_replan) {
+                        note_replan();
+                    }
                     let cache = seed_cache(rule, &self.db, &self.registry)?;
                     state.caches.insert(rule.name.clone(), cache);
                 }
@@ -982,8 +1005,12 @@ impl RuleEngine {
     /// it references.
     pub fn run_query(&mut self, q: &Query) -> Result<QueryOutput, RuleError> {
         let mut sp = obs::trace::span("rules.query");
-        for subdb in referenced_subdbs(q) {
-            self.derive(&subdb)?;
+        let subdbs = referenced_subdbs(q);
+        if !subdbs.is_empty() {
+            let _acct = obs::account::begin("derive", || subdbs.join(","));
+            for subdb in &subdbs {
+                self.derive(subdb)?;
+            }
         }
         let out = self.oql.run(&self.db, &self.registry, q)?;
         sp.attr("rows", out.table.len() as i64);
@@ -1078,6 +1105,23 @@ impl RuleEngine {
         }
         scratch.put(acc.expect("at least one rule"), self.db.seq());
         Ok(())
+    }
+}
+
+/// Fold one delta step's exact edits into the active accounting scope, if
+/// any. One relaxed atomic load when no scope is open.
+fn account_delta(out: &DeltaOutcome) {
+    if let Some(a) = obs::account::active() {
+        a.add_delta_edits(out.inserted.len() as u64, out.removed.len() as u64);
+    }
+}
+
+/// Count a drift-forced cache re-seed: the plan-drift watchdog flagged the
+/// cached compiled plan, so the delta path was bypassed and the rule is
+/// re-planned against the corrected statistics.
+fn note_replan() {
+    if obs::metrics_enabled() {
+        obs::metrics::counter("rules.maintain.replans").inc();
     }
 }
 

@@ -261,6 +261,17 @@ pub struct RuleCache {
     closure: Option<ClosureCache>,
 }
 
+impl RuleCache {
+    /// Whether the plan-drift watchdog flagged this cache's compiled plan
+    /// during execution (observed fan-out/selectivity left the
+    /// `DOOD_DRIFT_BAND` band around the cost model's estimates). A flagged
+    /// cache is re-seeded — and thereby re-planned against the corrected
+    /// statistics — on its next maintenance step instead of delta-applied.
+    pub fn needs_replan(&self) -> bool {
+        self.plan.drift.flagged()
+    }
+}
+
 /// Tally derivation counts: how many post-context patterns project onto
 /// each (non-empty) target pattern.
 fn tally(post: &Subdatabase, slots: &[usize]) -> FxHashMap<ExtPattern, u32> {
@@ -292,6 +303,9 @@ pub fn seed_cache(
         resolve_context(&rule.context, db.schema(), registry).map_err(RuleError::Query)?;
     let ev = Evaluator::new(&resolved, db, registry).map_err(RuleError::Query)?;
     let plan = ev.plan_handle();
+    if let Some(a) = obs::account::active() {
+        a.set_plan(plan.describe());
+    }
     let maintain = plan_for(rule);
     let (ctx_pre, closure) = if maintain == MaintainPlan::DeltaClosure {
         // Closure rules evaluate through the compiled kernel so the cache

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Compare two bench-harness JSON-lines result sets and report per-bench
+# median deltas.
+#
+# Usage: scripts/bench_diff.sh BASELINE CURRENT [THRESHOLD_PCT]
+#   BASELINE / CURRENT  a BENCH_*.json file, or a directory of them
+#   THRESHOLD_PCT       flag regressions above this percentage
+#                       (default $DOOD_BENCH_DIFF_PCT, else 10)
+#
+# Prints one line per bench present in both sets, marking regressions
+# beyond the threshold with `REGRESSED` and improvements beyond it with
+# `improved`. Exits 1 if any bench regressed, 0 otherwise — callers that
+# want it advisory (scripts/ci.sh) ignore the exit code. `#` provenance
+# headers (scripts/bench_snapshot.sh) and blank lines are skipped, and
+# files without the newer p99/max fields compare fine: only group, bench,
+# and median_ns are read.
+
+set -euo pipefail
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+    echo "usage: $0 BASELINE CURRENT [THRESHOLD_PCT]" >&2
+    exit 2
+fi
+
+baseline="$1"
+current="$2"
+threshold="${3:-${DOOD_BENCH_DIFF_PCT:-10}}"
+
+# Gather JSON lines from a file or every BENCH_*.json in a directory.
+collect() {
+    if [ -d "$1" ]; then
+        cat "$1"/BENCH_*.json 2>/dev/null || true
+    elif [ -f "$1" ]; then
+        cat "$1"
+    else
+        echo "bench_diff: no such file or directory: $1" >&2
+        exit 2
+    fi
+}
+
+collect "$baseline" | awk 'NF && $0 !~ /^#/' > "${TMPDIR:-/tmp}/bench_diff_base.$$"
+collect "$current" | awk 'NF && $0 !~ /^#/' > "${TMPDIR:-/tmp}/bench_diff_cur.$$"
+trap 'rm -f "${TMPDIR:-/tmp}/bench_diff_base.$$" "${TMPDIR:-/tmp}/bench_diff_cur.$$"' EXIT
+
+awk -v thresh="$threshold" '
+    # Pull a string field value out of a flat JSON line.
+    function sfield(line, key,    pat, rest) {
+        pat = "\"" key "\":\""
+        if (index(line, pat) == 0) return ""
+        rest = substr(line, index(line, pat) + length(pat))
+        return substr(rest, 1, index(rest, "\"") - 1)
+    }
+    # Pull a numeric field value out of a flat JSON line.
+    function nfield(line, key,    pat, rest, i, c, out) {
+        pat = "\"" key "\":"
+        if (index(line, pat) == 0) return ""
+        rest = substr(line, index(line, pat) + length(pat))
+        out = ""
+        for (i = 1; i <= length(rest); i++) {
+            c = substr(rest, i, 1)
+            if (c !~ /[0-9eE+.\-]/) break
+            out = out c
+        }
+        return out
+    }
+    NR == FNR {
+        key = sfield($0, "group") "/" sfield($0, "bench")
+        med = nfield($0, "median_ns")
+        if (key != "/" && med != "") base[key] = med
+        next
+    }
+    {
+        key = sfield($0, "group") "/" sfield($0, "bench")
+        med = nfield($0, "median_ns")
+        if (key == "/" || med == "" || !(key in base)) next
+        delta = (med / base[key] - 1) * 100
+        mark = ""
+        if (delta > thresh) { mark = "  REGRESSED"; bad++ }
+        else if (delta < -thresh) mark = "  improved"
+        printf "%-48s %12.0fns -> %12.0fns  %+7.2f%%%s\n", key, base[key], med, delta, mark
+        n++
+    }
+    END {
+        if (n == 0) { print "bench_diff: no common benches between the two sets" > "/dev/stderr"; exit 2 }
+        printf "bench_diff: %d bench(es) compared, %d regressed beyond %s%%\n", n, bad + 0, thresh
+        exit (bad > 0 ? 1 : 0)
+    }
+' "${TMPDIR:-/tmp}/bench_diff_base.$$" "${TMPDIR:-/tmp}/bench_diff_cur.$$"

@@ -59,6 +59,21 @@ grep -q "== export Teacher_course ==  rows=11" "$TRACE_TMP/profile.txt"
 cargo run -q --release --bin doodprof -- --validate "$TRACE_TMP/trace.jsonl"
 cargo run -q --release --bin doodprof -- --metrics programs/university.dood > /dev/null
 
+echo "== ci: flight-recorder + slowlog smoke (doodprof --flight / --slowlog) =="
+# The flight ring's merged dump must pass flight-tolerant validation (a
+# bounded ring legally truncates forests), and a DOOD_SLOWLOG_US=0 run
+# must produce a slow-query log that round-trips through the renderer.
+cargo run -q --release --bin doodprof -- --builtin university --flight \
+    > "$TRACE_TMP/flight.txt"
+grep -q "flight: .* span(s) in ring" "$TRACE_TMP/flight.txt"
+grep '^{' "$TRACE_TMP/flight.txt" > "$TRACE_TMP/flight.jsonl"
+cargo run -q --release --bin doodprof -- --validate "$TRACE_TMP/flight.jsonl" --flight
+DOOD_SLOWLOG_US=0 DOOD_SLOWLOG_FILE="$TRACE_TMP/slow.jsonl" \
+    cargo run -q --release --bin doodprof -- --builtin university > /dev/null
+test -s "$TRACE_TMP/slow.jsonl"
+cargo run -q --release --bin doodprof -- --slowlog "$TRACE_TMP/slow.jsonl" \
+    | grep -q "slow record(s)"
+
 echo "== ci: hermeticity =="
 scripts/check_hermetic.sh
 
@@ -124,5 +139,24 @@ if [ "${DOOD_E19_FULL:-0}" = "1" ]; then
     DOOD_BENCH_STRICT=1 DOOD_BENCH_JSON="$SMOKE_JSON" \
         cargo bench -p dood-bench --bench e19_absint
 fi
+
+echo "== ci: recorder-overhead smoke (bench e20_recorder) =="
+# Smoke mode exercises the always-on flight-recorder path and the
+# accounting fast path (timings meaningless, so the overhead verdict
+# self-skips). Set DOOD_E20_FULL=1 to also run the timed bench with the
+# <2% recorder-overhead gate enforced (DOOD_BENCH_STRICT=1).
+DOOD_BENCH_SMOKE=1 DOOD_BENCH_JSON="$SMOKE_JSON" \
+    cargo bench -p dood-bench --bench e20_recorder
+if [ "${DOOD_E20_FULL:-0}" = "1" ]; then
+    echo "== ci: e20 recorder-overhead gate (DOOD_BENCH_STRICT=1) =="
+    DOOD_BENCH_STRICT=1 DOOD_BENCH_JSON="$SMOKE_JSON" \
+        cargo bench -p dood-bench --bench e20_recorder
+fi
+
+echo "== ci: bench diff vs BENCH_SEED.json (advisory) =="
+# Smoke timings are not meaningful, so this stage never fails the build:
+# it keeps the diff plumbing exercised on every PR and prints real deltas
+# when a timed bench run has populated the JSON directory.
+scripts/bench_diff.sh BENCH_SEED.json "$SMOKE_JSON" || true
 
 echo "ci: PASS"

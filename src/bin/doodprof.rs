@@ -26,6 +26,12 @@
 //!   and reach, plus per-round frontier sizes.
 //! * `--trace-out FILE` — additionally stream every closed span to `FILE`
 //!   as JSON lines (same format as `DOOD_TRACE=1`).
+//! * `--flight` — keep the in-memory flight recorder populated during the
+//!   run and print its merged ring (JSON lines plus a summary) afterwards
+//!   (DESIGN.md §13). With `--validate`, switch to flight-tolerant
+//!   validation instead (a bounded ring legally truncates forests).
+//! * `--slowlog FILE` — don't profile; render a `DOOD_SLOWLOG_FILE`
+//!   JSON-lines slow-query log as human-readable per-query reports.
 //! * `--validate FILE` — don't profile; check that `FILE` is a well-formed
 //!   JSON-lines trace (parseable, unique ids, children close before and
 //!   nest inside their parents) and print its stats.
@@ -40,7 +46,7 @@ use dood::store::Database;
 use dood::workload::programs;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: doodprof [--builtin NAME | FILE.dood] [--seed N] [--metrics] [--json] [--plan] [--trace-out FILE] [--validate FILE]
+const USAGE: &str = "usage: doodprof [--builtin NAME | FILE.dood] [--seed N] [--metrics] [--json] [--plan] [--trace-out FILE] [--flight] [--slowlog FILE] [--validate FILE]
   --builtin NAME    profile a built-in workload program
                     (university | company | cad | social)
   --seed N          population seed (default 42)
@@ -50,6 +56,9 @@ const USAGE: &str = "usage: doodprof [--builtin NAME | FILE.dood] [--seed N] [--
                     vs. measured cardinalities per stage, and each closure
                     fixpoint with per-round frontier sizes
   --trace-out FILE  also stream spans to FILE as JSON lines
+  --flight          keep the flight recorder on and dump its ring after the
+                    run; with --validate, use flight-tolerant validation
+  --slowlog FILE    render a JSON-lines slow-query log as text and exit
   --validate FILE   validate a JSON-lines trace export and exit";
 
 fn main() -> ExitCode {
@@ -61,6 +70,8 @@ fn main() -> ExitCode {
     let mut plan = false;
     let mut trace_out: Option<String> = None;
     let mut validate: Option<String> = None;
+    let mut flight = false;
+    let mut slowlog: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -83,6 +94,11 @@ fn main() -> ExitCode {
                 Some(p) => validate = Some(p),
                 None => return usage_err("`--validate` needs a path"),
             },
+            "--flight" => flight = true,
+            "--slowlog" => match args.next() {
+                Some(p) => slowlog = Some(p),
+                None => return usage_err("`--slowlog` needs a path"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -99,7 +115,10 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = validate {
-        return run_validate(&path);
+        return run_validate(&path, flight);
+    }
+    if let Some(path) = slowlog {
+        return run_slowlog(&path, json);
     }
 
     let (name, src) = match (&builtin, &file) {
@@ -134,6 +153,9 @@ fn main() -> ExitCode {
 
     if metrics {
         obs::set_metrics_enabled(true);
+    }
+    if flight {
+        obs::recorder::set_enabled(true);
     }
     if let Some(path) = &trace_out {
         if let Err(e) = obs::trace::stream_to_path(path) {
@@ -203,6 +225,9 @@ fn main() -> ExitCode {
 
     if metrics {
         dump_metrics(&engine, json);
+    }
+    if flight {
+        dump_flight(json);
     }
     obs::trace::flush_stream();
     if failed {
@@ -464,7 +489,10 @@ fn dump_metrics(engine: &RuleEngine, json: bool) {
 }
 
 /// `--validate`: parse and structurally check a JSON-lines trace export.
-fn run_validate(path: &str) -> ExitCode {
+/// With `--flight`, use the flight-tolerant mode: a bounded ring legally
+/// drops span ancestors, so escaped children are severed into extra roots
+/// instead of rejected.
+fn run_validate(path: &str, flight: bool) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -472,11 +500,16 @@ fn run_validate(path: &str) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match obs::trace::validate_trace(&text) {
+    let mode = if flight {
+        obs::trace::ValidateMode::Flight
+    } else {
+        obs::trace::ValidateMode::Strict
+    };
+    match obs::trace::validate_trace_with(&text, mode) {
         Ok(stats) => {
             println!(
-                "{path}: ok — {} span(s), {} root(s), max depth {}",
-                stats.spans, stats.roots, stats.max_depth
+                "{path}: ok — {} span(s), {} root(s), max depth {}, {} severed",
+                stats.spans, stats.roots, stats.max_depth, stats.severed
             );
             ExitCode::SUCCESS
         }
@@ -485,4 +518,63 @@ fn run_validate(path: &str) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `--flight` after a profiling run: print the recorder's merged ring —
+/// JSON span lines in `--json` mode, a rendered summary plus the lines in
+/// text mode — and a trailing `flight:` summary with the drop count.
+fn dump_flight(json: bool) {
+    let (records, dropped) = obs::recorder::dump();
+    if !json {
+        println!("-- flight recorder --");
+    }
+    for r in &records {
+        println!("{}", r.to_json_line());
+    }
+    let summary = format!("flight: {} span(s) in ring, {} overwritten", records.len(), dropped);
+    if json {
+        println!(
+            "{{\"kind\":\"flight\",\"spans\":{},\"overwritten\":{dropped}}}",
+            records.len()
+        );
+    } else {
+        println!("{summary}");
+    }
+}
+
+/// `--slowlog FILE`: render a slow-query log (JSON lines of
+/// [`obs::account::QueryReport`]) as human-readable per-query blocks, or
+/// echo the validated JSON in `--json` mode.
+fn run_slowlog(path: &str, json: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("doodprof: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut n = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match obs::account::QueryReport::from_json_line(line) {
+            Ok(rep) => {
+                n += 1;
+                if json {
+                    println!("{}", rep.to_json_line());
+                } else {
+                    print!("{}", rep.render_text());
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}:{}: bad slowlog record: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !json {
+        println!("{path}: {n} slow record(s)");
+    }
+    ExitCode::SUCCESS
 }

@@ -6,15 +6,16 @@
 //! Metric-touching tests serialize on a shared lock: the registry is
 //! process-global and `reset_all` would race between tests otherwise.
 
+use dood::core::ids::{AssocId, Oid};
 use dood::core::obs::{self, metrics, trace};
 use dood::core::obs::metrics::MetricSnapshot;
 use dood::core::pool::ChunkPool;
 use dood::core::propcheck::check;
 use dood::core::subdb::SubdbRegistry;
-use dood::oql::eval::Evaluator;
+use dood::oql::eval::{fan_key_assoc, Evaluator};
 use dood::oql::resolve::resolve_context;
 use dood::oql::Parser;
-use dood::rules::RuleEngine;
+use dood::rules::{EvalPolicy, RuleEngine};
 use dood::workload::university;
 use std::sync::{Mutex, MutexGuard};
 
@@ -227,6 +228,173 @@ fn doodprof_cli_university_roundtrip() {
     let vtext = String::from_utf8_lossy(&validate.stdout);
     assert!(vtext.contains(": ok —"), "{vtext}");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End to end: a `DOOD_SLOWLOG_US=0` doodprof run must append one
+/// [`obs::account::QueryReport`] JSON line per derivation/query, at least
+/// one carrying the compiled-plan snapshot and per-stage estimated vs.
+/// actual cardinalities, and `doodprof --slowlog` must render the file
+/// (tentpole acceptance: a forced-slow run produces slow records).
+#[test]
+fn slowlog_e2e_records_plans_and_stages() {
+    let exe = env!("CARGO_BIN_EXE_doodprof");
+    let dir = std::env::temp_dir().join(format!("doodprof-slowlog-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("slow.jsonl");
+
+    let out = std::process::Command::new(exe)
+        .args(["--builtin", "university"])
+        .env("DOOD_SLOWLOG_US", "0")
+        .env("DOOD_SLOWLOG_FILE", &log)
+        .output()
+        .expect("run doodprof with slowlog armed");
+    assert!(out.status.success(), "doodprof failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&log).expect("slowlog file written");
+    let reports: Vec<obs::account::QueryReport> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| obs::account::QueryReport::from_json_line(l).expect("parseable slow record"))
+        .collect();
+    assert!(!reports.is_empty(), "threshold 0 must log every accounted run");
+    assert!(reports.iter().any(|r| r.kind == "query"), "no query record: {text}");
+
+    // At least one record must carry the compiled plan snapshot plus
+    // per-stage estimated-vs-actual cardinalities.
+    let planned = reports
+        .iter()
+        .find(|r| r.plan.is_some() && !r.stages.is_empty())
+        .expect("no record with plan + stages");
+    assert!(planned.plan.as_deref().unwrap().contains("plan mode="), "{:?}", planned.plan);
+    assert!(planned.stages.iter().any(|s| s.est >= 0.0 && s.scanned >= s.kept));
+    assert!(planned.rows_scanned > 0);
+
+    // The renderer accepts its own log.
+    let rendered = std::process::Command::new(exe)
+        .arg("--slowlog")
+        .arg(&log)
+        .output()
+        .expect("run doodprof --slowlog");
+    assert!(rendered.status.success(), "{}", String::from_utf8_lossy(&rendered.stderr));
+    let rtext = String::from_utf8_lossy(&rendered.stdout);
+    assert!(rtext.contains("-- slow "), "{rtext}");
+    assert!(rtext.contains("slow record(s)"), "{rtext}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Property: enabling the flight recorder must not change evaluation
+/// results at any thread count — the ring only observes closed spans
+/// (tentpole acceptance). Replay failures with `DOOD_PROP_SEED=<seed>`.
+#[test]
+fn recorder_on_equals_off_across_threads() {
+    let _g = metrics_lock();
+    check("recorder_on_equals_off_across_threads", 9, |g| {
+        let seed = g.range(0u64..1000);
+        let threads = [1usize, 2, 4][g.range(0..3) as usize];
+        let db = university::populate(university::Size::small(), seed);
+        let reg = SubdbRegistry::new();
+        let eval = |src: &str| {
+            let e = Parser::parse_context_expr(src).unwrap();
+            let r = resolve_context(&e, db.schema(), &reg).unwrap();
+            Evaluator::new(&r, &db, &reg)
+                .unwrap()
+                .with_pool(ChunkPool::with_threads(threads).cutoff(0))
+                .eval("t")
+                .to_vec()
+        };
+        for src in ["Teacher * Section * Course", "Course ^*"] {
+            obs::recorder::set_enabled(false);
+            let off = eval(src);
+            obs::recorder::set_enabled(true);
+            let on = eval(src);
+            obs::recorder::set_enabled(false);
+            obs::recorder::clear();
+            assert_eq!(off, on, "recorder changed results for `{src}` at {threads} thread(s)");
+        }
+    });
+}
+
+/// Scrambled statistics must trip the plan-drift watchdog during seeding,
+/// force drift-flagged caches to re-seed (re-plan) instead of delta-apply
+/// on subsequent maintenance, keep maintained results equal to
+/// from-scratch derivation throughout, and converge — replans stop once
+/// the EWMA statistics re-enter the band (tentpole acceptance).
+#[test]
+fn drift_watchdog_replans_and_converges() {
+    let _g = metrics_lock();
+    obs::set_metrics_enabled(true);
+    metrics::reset_all();
+    obs::stats::clear();
+
+    let db = university::populate(university::Size::scaled(2), 42);
+    // Scramble every association's fan-out statistic to an absurd value so
+    // the first compiled plan's estimates are far outside DOOD_DRIFT_BAND.
+    for i in 0..db.schema().assoc_count() {
+        let id = AssocId::from(i as u32);
+        obs::stats::set(&fan_key_assoc(id, true), 512.0);
+        obs::stats::set(&fan_key_assoc(id, false), 512.0);
+    }
+
+    let mut e = RuleEngine::new(db);
+    e.add_rule("R1", "if context Teacher * Section * Course then TSC (Teacher, Course)")
+        .unwrap();
+    e.set_policy("TSC", EvalPolicy::PreEvaluated);
+    e.subdb("TSC").unwrap();
+    assert!(
+        metrics::counter("oql.plan.drift").get() > 0,
+        "scrambled stats must trip the watchdog during seeding"
+    );
+
+    // Churn the teaching links: each propagate must keep the maintained
+    // copy exact while flagged caches re-seed against corrected stats.
+    let mut last_replans = 0u64;
+    let mut stable_rounds = 0u32;
+    for round in 0..30usize {
+        poke_teaches(&mut e, round);
+        e.propagate().unwrap();
+        let current = e.registry().subdb("TSC").expect("TSC materialized").to_vec();
+        let fresh = e.derive_fresh("TSC").unwrap().to_vec();
+        assert_eq!(current, fresh, "maintained TSC diverged in round {round}");
+        let replans = metrics::counter("rules.maintain.replans").get();
+        if replans == last_replans {
+            stable_rounds += 1;
+            if stable_rounds >= 3 {
+                break;
+            }
+        } else {
+            stable_rounds = 0;
+            last_replans = replans;
+        }
+    }
+    assert!(
+        metrics::counter("rules.maintain.replans").get() > 0,
+        "a drift-flagged cache must force a re-seed"
+    );
+    assert!(
+        stable_rounds >= 3,
+        "replans kept firing after 30 rounds: stats never converged"
+    );
+
+    metrics::reset_all();
+    obs::set_metrics_enabled(false);
+    obs::stats::clear();
+}
+
+/// Flip one random Teaches link per round (associate on even rounds,
+/// dissociate on odd), so every propagate has a real delta to maintain.
+fn poke_teaches(e: &mut RuleEngine, k: usize) {
+    let db = e.db_mut();
+    let teacher = db.schema().class_by_name("Teacher").unwrap();
+    let section = db.schema().class_by_name("Section").unwrap();
+    let teaches = db.schema().own_link_by_name(teacher, "Teaches").unwrap();
+    let ts: Vec<Oid> = db.extent(teacher).collect();
+    let ss: Vec<Oid> = db.extent(section).collect();
+    let (t, s) = (ts[k % ts.len()], ss[(k * 7 + 1) % ss.len()]);
+    if k % 2 == 0 {
+        let _ = db.associate(teaches, t, s);
+    } else {
+        let _ = db.dissociate(teaches, t, s);
+    }
 }
 
 /// `doodlint --json` emits one parseable JSON object per diagnostic on
